@@ -1,0 +1,54 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation
+at laptop scale (the paper used a 500K-tuple CENSUS extract; shapes are
+stable well below that — see EXPERIMENTS.md for the calibration).  Each
+bench prints the series it produced, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the figure/table regeneration harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import CENSUS_QI_ORDER
+from repro.experiments import ExperimentConfig
+
+#: Scale used by the figure benches: big enough for stable shapes,
+#: small enough that the whole suite runs in minutes.
+BENCH_N = 12_000
+BENCH_QUERIES = 300
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """Default-QI (3 attributes) config for AIL/privacy benches."""
+    return ExperimentConfig(n=BENCH_N, n_queries=BENCH_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def bench_config_full_qi():
+    """Five-attribute config for the query-utility benches."""
+    return ExperimentConfig(
+        n=BENCH_N, n_queries=BENCH_QUERIES, qi=CENSUS_QI_ORDER
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_config_fig9():
+    """Fig. 9 needs more tuples/correlation (see repro.experiments.fig9)."""
+    return ExperimentConfig(
+        n=40_000, correlation=0.8, n_queries=BENCH_QUERIES, qi=CENSUS_QI_ORDER
+    )
+
+
+def show(result_or_list) -> None:
+    """Print experiment output (visible with ``pytest -s``)."""
+    results = (
+        result_or_list
+        if isinstance(result_or_list, list)
+        else [result_or_list]
+    )
+    for result in results:
+        print()
+        print(result.to_text())

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core building blocks.
+
+These time the substrate pieces in isolation so performance regressions
+are attributable: Hilbert encoding throughput, the DPpartition dynamic
+program, end-to-end BUREL, the Mondrian comparators, and the
+perturbation + reconstruction path.
+"""
+
+import numpy as np
+
+from repro.anonymity import l_mondrian, sabre
+from repro.core import BetaLikeness, burel, dp_partition, perturb_table
+from repro.dataset import DEFAULT_QI, make_census
+from repro.hilbert import hilbert_encode
+from repro.query import PerturbedAnswerer, make_workload
+
+N = 12_000
+
+
+def test_bench_hilbert_encode(benchmark, rng=np.random.default_rng(0)):
+    points = rng.integers(0, 1 << 10, size=(100_000, 3))
+    result = benchmark(hilbert_encode, points, 10)
+    assert result.shape == (100_000,)
+
+
+def test_bench_dp_partition(benchmark):
+    table = make_census(N, seed=7, qi_names=DEFAULT_QI)
+    probs = table.sa_distribution()
+    model = BetaLikeness(4.0)
+    partition = benchmark(dp_partition, probs, model, 0.5)
+    assert len(partition) >= 1
+
+
+def test_bench_burel_end_to_end(benchmark):
+    table = make_census(N, seed=7, qi_names=DEFAULT_QI)
+    result = benchmark(burel, table, 4.0)
+    assert len(result.published) > 1
+
+
+def test_bench_l_mondrian(benchmark):
+    table = make_census(N, seed=7, qi_names=DEFAULT_QI)
+    result = benchmark(l_mondrian, table, 4.0)
+    assert len(result.published) >= 1
+
+
+def test_bench_sabre(benchmark):
+    table = make_census(N, seed=7, qi_names=DEFAULT_QI)
+    result = benchmark(sabre, table, 0.2)
+    assert len(result.published) >= 1
+
+
+def test_bench_perturb_and_answer(benchmark):
+    table = make_census(N, seed=7)
+    queries = make_workload(
+        table.schema, 100, 3, 0.1, np.random.default_rng(0)
+    )
+
+    def run():
+        perturbed = perturb_table(
+            table, 4.0, rng=np.random.default_rng(1)
+        )
+        answer = PerturbedAnswerer(perturbed)
+        return [answer(q) for q in queries]
+
+    estimates = benchmark(run)
+    assert len(estimates) == 100

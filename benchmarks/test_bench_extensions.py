@@ -1,0 +1,82 @@
+"""Benches for the §3/§7 extensions and the §2 quantification.
+
+Reports what each extension costs (AIL) and buys (the gain it caps),
+plus the section2 experiment showing cumulative-divergence models
+leaving per-value exposure uncontrolled.
+"""
+
+from conftest import show
+from repro.anonymity import mondrian
+from repro.attacks import salary_bands
+from repro.core import burel
+from repro.dataset import DEFAULT_QI, make_census
+from repro.experiments import section2
+from repro.experiments.runner import ExperimentConfig
+from repro.extensions import (
+    SAGrouping,
+    grouped_burel,
+    measured_group_beta,
+    measured_negative_beta,
+    measured_proximity_beta,
+    p_mondrian,
+    two_sided_constraint,
+)
+from repro.metrics import average_information_loss, measured_beta
+
+N = 12_000
+BETA = 2.0
+
+
+def _table():
+    return make_census(N, seed=7, qi_names=DEFAULT_QI)
+
+
+def test_bench_section2(benchmark):
+    config = ExperimentConfig(n=N)
+    result = benchmark.pedantic(
+        section2.run, args=(config,), rounds=1, iterations=1
+    )
+    show(result)
+    # Loosest budgets leave beta uncontrolled for every divergence.
+    assert max(series[-1] for series in result.series.values()) > 5.0
+
+
+def test_bench_two_sided(benchmark):
+    table = _table()
+    constraint = two_sided_constraint(
+        table.sa_distribution(), beta=BETA, negative_beta=BETA
+    )
+    result = benchmark(mondrian, table, constraint)
+    published = result.published
+    print(
+        f"\ntwo-sided: beta+={measured_beta(published):.3f} "
+        f"beta-={measured_negative_beta(published):.3f} "
+        f"AIL={average_information_loss(published):.3f}"
+    )
+    assert measured_beta(published) <= BETA + 1e-9
+
+
+def test_bench_grouped(benchmark):
+    table = _table()
+    grouping = SAGrouping.from_lists(50, salary_bands())
+    result = benchmark(grouped_burel, table, BETA, grouping)
+    published = result.published
+    print(
+        f"\ngrouped: band beta={measured_group_beta(published, grouping):.3f} "
+        f"AIL={average_information_loss(published):.3f}"
+    )
+    assert measured_group_beta(published, grouping) <= BETA + 1e-9
+
+
+def test_bench_proximity(benchmark):
+    table = _table()
+    w = 5
+    result = benchmark(p_mondrian, table, BETA, w)
+    published = result.published
+    plain = burel(table, BETA).published
+    print(
+        f"\nproximity: window beta {measured_proximity_beta(plain, w):.2f} "
+        f"(plain BUREL) -> {measured_proximity_beta(published, w):.2f} "
+        f"(PMondrian), AIL={average_information_loss(published):.3f}"
+    )
+    assert measured_proximity_beta(published, w) <= BETA + 1e-9

@@ -1,0 +1,22 @@
+"""Bench: Figure 5 — information loss and runtime vs β.
+
+Shapes asserted: AIL falls as β relaxes for BUREL; DMondrian (the
+two-sided δ-disclosure adaptation) is at least as lossy as LMondrian,
+reproducing the paper's ordering argument for that pair.
+"""
+
+from conftest import show
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig5.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show(results)
+    ail = results[0].series
+    assert ail["BUREL"][-1] < ail["BUREL"][0]
+    for lm, dm in zip(ail["LMondrian"], ail["DMondrian"]):
+        assert dm >= lm - 1e-9
+    secs = results[1].series
+    assert all(v > 0 for series in secs.values() for v in series)

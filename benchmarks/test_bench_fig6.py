@@ -1,0 +1,18 @@
+"""Bench: Figure 6 — information loss and runtime vs QI size.
+
+Shape asserted: sparser high-dimensional QI-space degrades information
+quality for every algorithm (AIL at 5 attributes exceeds AIL at 1).
+"""
+
+from conftest import show
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, bench_config):
+    results = benchmark.pedantic(
+        fig6.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show(results)
+    ail = results[0].series
+    for name in ("BUREL", "LMondrian", "DMondrian"):
+        assert ail[name][-1] > ail[name][0]

@@ -1,0 +1,24 @@
+"""Bench: Figure 7 — information loss and runtime vs table size.
+
+Shapes asserted: BUREL's runtime grows with the table while its AIL
+stays roughly flat (β-likeness constraints are frequency-based, hence
+scale-free — the paper's observation that more data does not help the
+way it does for k-anonymity).
+"""
+
+from conftest import show
+from repro.experiments import fig7
+from repro.experiments.runner import ExperimentConfig
+
+
+def test_fig7(benchmark):
+    config = ExperimentConfig(n=25_000)
+    results = benchmark.pedantic(
+        fig7.run, args=(config,), rounds=1, iterations=1
+    )
+    show(results)
+    ail = results[0].series["BUREL"]
+    secs = results[1].series["BUREL"]
+    assert secs[-1] > secs[0]
+    spread = max(ail) - min(ail)
+    assert spread < 0.25, "AIL should not trend strongly with table size"

@@ -1,0 +1,47 @@
+"""Bench: Figure 8 — COUNT-query error of the generalization schemes.
+
+Shapes asserted: error falls as β relaxes (8b) and as θ grows (8d);
+rises with QI size (8c); BUREL answers at least as well as DMondrian
+throughout (the paper reports BUREL best overall).
+"""
+
+import numpy as np
+
+from conftest import show
+from repro.experiments import fig8
+
+
+def test_fig8a(benchmark, bench_config_full_qi):
+    result = benchmark.pedantic(
+        fig8.run_fig8a, args=(bench_config_full_qi,), rounds=1, iterations=1
+    )
+    show(result)
+    assert all(len(v) == 5 for v in result.series.values())
+
+
+def test_fig8b(benchmark, bench_config_full_qi):
+    result = benchmark.pedantic(
+        fig8.run_fig8b, args=(bench_config_full_qi,), rounds=1, iterations=1
+    )
+    show(result)
+    burel = result.series["BUREL"]
+    assert burel[-1] < burel[0]
+    assert np.mean(result.series["DMondrian"]) >= np.mean(burel) - 0.02
+
+
+def test_fig8c(benchmark, bench_config_full_qi):
+    result = benchmark.pedantic(
+        fig8.run_fig8c, args=(bench_config_full_qi,), rounds=1, iterations=1
+    )
+    show(result)
+    burel = result.series["BUREL"]
+    assert burel[-1] > burel[0]
+
+
+def test_fig8d(benchmark, bench_config_full_qi):
+    result = benchmark.pedantic(
+        fig8.run_fig8d, args=(bench_config_full_qi,), rounds=1, iterations=1
+    )
+    show(result)
+    burel = result.series["BUREL"]
+    assert burel[-1] < burel[0]

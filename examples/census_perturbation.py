@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Publishing CENSUS microdata by perturbation (Section 5).
+
+Demonstrates the randomized-response scheme end to end:
+
+1. fit the per-value retention probabilities α_i of Theorem 3;
+2. randomize the salary classes while keeping QI values exact;
+3. reconstruct SA counts of query-filtered subsets through the
+   published transition matrix PM;
+4. compare the COUNT-query accuracy with the §6.3 Baseline that
+   publishes only the overall salary distribution.
+
+Run:  python examples/census_perturbation.py [--tuples N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import perturb_table
+from repro.anonymity import BaselinePublication
+from repro.dataset import make_census
+from repro.query import (
+    BaselineAnswerer,
+    PerturbedAnswerer,
+    answer_precise,
+    make_workload,
+    median_relative_error,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=100_000)
+    parser.add_argument("--beta", type=float, default=4.0)
+    args = parser.parse_args()
+
+    table = make_census(args.tuples, seed=7, correlation=0.8)
+    perturbed = perturb_table(
+        table, args.beta, rng=np.random.default_rng(29)
+    )
+    scheme = perturbed.scheme
+
+    print(f"perturbation scheme for beta={args.beta}, m={scheme.m} values:")
+    print(
+        f"  retention alpha: min={scheme.alphas.min():.4f} "
+        f"max={scheme.alphas.max():.4f}"
+    )
+    print(f"  C_LM = {scheme.c_lm:.6f}")
+    print(
+        f"  fraction of SA values surviving unchanged: "
+        f"{perturbed.retention_rate():.2%}"
+    )
+
+    # Reconstruction sanity: the full-table histogram.
+    observed = np.bincount(perturbed.sa_perturbed, minlength=50)
+    recovered = scheme.reconstruct(observed)
+    true = table.sa_counts()
+    print(
+        f"  histogram reconstruction mean abs error: "
+        f"{np.abs(recovered - true).mean():.1f} tuples "
+        f"({np.abs(recovered - true).mean() / table.n_rows:.3%} of table)\n"
+    )
+
+    print("COUNT-query workload (lambda=3, theta=0.1, 1000 queries):")
+    queries = make_workload(
+        table.schema, 1_000, lam=3, theta=0.1, rng=np.random.default_rng(13)
+    )
+    precise = np.array([answer_precise(table, q) for q in queries])
+    for name, answer in (
+        ("(rho1,rho2)-privacy", PerturbedAnswerer(perturbed)),
+        ("Baseline", BaselineAnswerer(BaselinePublication(table))),
+    ):
+        estimates = np.array([answer(q) for q in queries])
+        error = median_relative_error(precise, estimates)
+        print(f"  {name:20s}: median relative error = {error:.2%}")
+
+
+if __name__ == "__main__":
+    main()

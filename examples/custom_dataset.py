@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bringing your own microdata: CSV in, anonymized CSV out.
+
+Shows the loader/CLI path on a file you could have exported from any
+database: a synthetic clinic extract is written to a temporary CSV with
+mixed numerical and categorical quasi-identifiers, loaded back through
+``repro.io``, anonymized with both schemes, and exported.
+
+Run:  python examples/custom_dataset.py
+"""
+
+import csv
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import burel, perturb_table
+from repro.io import load_csv_table, write_generalized_csv, write_perturbed_csv
+from repro.metrics import average_information_loss, privacy_profile
+
+CONDITIONS = [
+    "asthma", "diabetes", "flu", "fracture", "hepatitis",
+    "hypertension", "migraine", "ulcer",
+]
+CITIES = ["kyoto", "lyon", "porto", "tartu"]
+
+
+def write_raw_extract(path: Path, n: int = 4_000, seed: int = 5) -> None:
+    """A plausible clinic extract: Age, City, YearsInsured, Condition."""
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.ones(len(CONDITIONS)) * 2.0)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["Age", "City", "YearsInsured", "Condition"])
+        for _ in range(n):
+            age = int(np.clip(rng.normal(45, 15), 18, 90))
+            writer.writerow(
+                [
+                    age,
+                    CITIES[rng.integers(0, len(CITIES))],
+                    int(np.clip(rng.normal(age / 4, 4), 0, 40)),
+                    CONDITIONS[rng.choice(len(CONDITIONS), p=weights)],
+                ]
+            )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = Path(tmp) / "clinic.csv"
+        write_raw_extract(raw)
+
+        table = load_csv_table(
+            raw,
+            qi_names=["Age", "City", "YearsInsured"],
+            sensitive_name="Condition",
+            numerical=["Age", "YearsInsured"],
+        )
+        print(
+            f"loaded {table.n_rows} tuples; conditions: "
+            f"{dict(zip(table.schema.sensitive.values, table.sa_counts()))}"
+        )
+
+        result = burel(table, beta=1.5)
+        out_gen = Path(tmp) / "clinic_generalized.csv"
+        write_generalized_csv(result.published, out_gen)
+        print(f"\ngeneralized -> {out_gen.name}: "
+              f"{len(result.published)} classes, "
+              f"AIL={average_information_loss(result.published):.3f}")
+        print(f"  {privacy_profile(result.published)}")
+
+        perturbed = perturb_table(
+            table, beta=1.5, rng=np.random.default_rng(0)
+        )
+        out_pert = Path(tmp) / "clinic_perturbed.csv"
+        write_perturbed_csv(perturbed, out_pert)
+        print(f"\nperturbed -> {out_pert.name} (+ sidecar): "
+              f"{perturbed.retention_rate():.1%} of conditions intact")
+
+        # The same is available without Python:
+        print(
+            "\nequivalent CLI:\n"
+            f"  python -m repro.cli generalize {raw.name} "
+            "--qi Age,City,YearsInsured --numerical Age,YearsInsured "
+            "--sensitive Condition --beta 1.5 -o out.csv"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Why cumulative-distance models under-protect (Section 2's argument).
+
+Reproduces the paper's numeric examples showing that EMD, KL and JS
+treat very different privacy situations as equivalent — the motivation
+for β-likeness — then demonstrates the Fig. 4 phenomenon on data: at
+the *same* measured t-closeness, publications by tMondrian and SABRE
+expose individual salary classes to far larger relative confidence
+gains than BUREL does.
+
+Run:  python examples/model_comparison.py
+"""
+
+import numpy as np
+
+from repro import burel
+from repro.anonymity import sabre, t_mondrian
+from repro.dataset import make_census
+from repro.metrics import (
+    average_information_loss,
+    emd_equal,
+    js_divergence,
+    kl_divergence,
+    max_relative_gain,
+    measured_beta,
+    measured_t,
+)
+
+
+def section2_numbers() -> None:
+    print("— §2, the EMD example —")
+    cases = {
+        "P=(0.40,0.60) Q=(0.50,0.50)": (np.array([0.4, 0.6]), np.array([0.5, 0.5])),
+        "P=(0.01,0.99) Q=(0.11,0.89)": (np.array([0.01, 0.99]), np.array([0.11, 0.89])),
+    }
+    for label, (p, q) in cases.items():
+        print(
+            f"  {label}: EMD={emd_equal(p, q):.2f} but relative gain on "
+            f"the rare value = {max_relative_gain(p, q):.0%}"
+        )
+    print("  -> identical 0.1-closeness, wildly different exposure\n")
+
+    print("— §2, the KL/JS example —")
+    p, q = np.array([0.4, 0.6]), np.array([0.5, 0.5])
+    pt, qt = np.array([0.01, 0.99]), np.array([0.03, 0.97])
+    print(
+        f"  KL(P||Q)={kl_divergence(p, q):.4f}, "
+        f"KL(P~||Q~)={kl_divergence(pt, qt):.4f}  "
+        f"(JS: {js_divergence(p, q):.4f} vs {js_divergence(pt, qt):.4f})"
+    )
+    print(
+        f"  yet the confidence rises by {max_relative_gain(p, q):.0%} vs "
+        f"{max_relative_gain(pt, qt):.0%} — the divergences rank them "
+        "backwards\n"
+    )
+
+
+def fig4_phenomenon() -> None:
+    print("— the Fig. 4 phenomenon on synthetic CENSUS —")
+    table = make_census(20_000, seed=7, qi_names=("Age", "Gender", "Education"))
+    b = burel(table, beta=4.0)
+    t_value = measured_t(b.published, ordered=True)
+    print(f"  BUREL(beta=4) achieves ordered t-closeness t={t_value:.4f}")
+    tm = t_mondrian(table, t_value, ordered=True)
+    sb = sabre(table, t_value, ordered=True)
+    print("  real beta (and AIL) at that same t:")
+    for name, pub in (
+        ("BUREL", b.published),
+        ("SABRE", sb.published),
+        ("tMondrian", tm.published),
+    ):
+        print(
+            f"    {name:10s}: real beta {measured_beta(pub):8.2f}   "
+            f"AIL {average_information_loss(pub):.3f}"
+        )
+    print(
+        "  -> t-closeness cannot *control* per-value exposure: tMondrian "
+        "overshoots by an order of magnitude, while SABRE only avoids it "
+        "by over-generalizing (its information loss)"
+    )
+
+
+def main() -> None:
+    section2_numbers()
+    fig4_phenomenon()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper at a chosen scale.
+
+Thin wrapper around ``repro.experiments``: runs the whole evaluation
+(fig4–fig9, the §7 table, the NB-attack figure, plus the two
+quantification extras) and prints each series in the shape the paper
+reports it.  EXPERIMENTS.md records the paper-vs-measured comparison
+for the default scales.
+
+Run:  python examples/paper_tables.py [--tuples N] [--queries Q]
+      (defaults are small so the full pass takes a few minutes;
+       EXPERIMENTS.md used 50K–200K)
+"""
+
+import argparse
+import time
+from dataclasses import replace
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=500)
+    parser.add_argument(
+        "--only", type=str, default=None,
+        help="comma-separated experiment names (default: all)",
+    )
+    args = parser.parse_args()
+
+    names = (
+        [n for n in args.only.split(",") if n]
+        if args.only
+        else list(ALL_EXPERIMENTS)
+    )
+    t_start = time.perf_counter()
+    for name in names:
+        module = ALL_EXPERIMENTS[name]
+        config = module.DEFAULT_CONFIG
+        if args.tuples is not None:
+            config = replace(config, n=args.tuples)
+        config = replace(config, n_queries=args.queries)
+        t0 = time.perf_counter()
+        outcome = module.run(config)
+        results = (
+            outcome if isinstance(outcome, list) else [outcome]
+        )
+        for result in results:
+            print(result.to_text())
+            print()
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+    print(f"[total: {time.perf_counter() - t_start:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

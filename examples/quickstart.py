@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Quickstart: β-likeness on the paper's 6-patient table (Table 1).
+
+Anonymizes the running example with BUREL at β = 1, prints the
+published equivalence classes in the form they would be released, and
+verifies the privacy guarantee with the measurement tools.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import burel, privacy_profile
+from repro.dataset import make_patients, show_published
+from repro.metrics import average_information_loss
+
+
+def main() -> None:
+    table = make_patients()
+    print("Original table: 6 patients, QI = {Weight, Age}, SA = Disease")
+    print("Overall SA distribution: each disease at 1/6\n")
+
+    # Anonymize with the generalization scheme.  β = 1 allows any
+    # disease's in-class frequency to be at most twice its overall one
+    # (all diseases are 'infrequent' here: 1/6 < e^-1).
+    result = burel(table, beta=1.0, margin=0.0)
+    published = result.published
+
+    print(f"BUREL(beta=1) bucketization: "
+          f"{[list(map(int, b)) for b in result.partition.buckets]}")
+    print(show_published(published))
+    print()
+
+    profile = privacy_profile(published)
+    print(f"measured privacy: {profile}")
+    print(f"average information loss (Eq. 5): "
+          f"{average_information_loss(published):.4f}")
+
+    assert profile.beta <= 1.0 + 1e-9, "the guarantee must hold"
+    print("\nOK: every equivalence class satisfies enhanced 1-likeness.")
+
+
+if __name__ == "__main__":
+    main()

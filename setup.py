@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The reproduction environment is offline with setuptools 65 and no
+``wheel`` package, so PEP 660 editable installs (``pip install -e .``)
+cannot build a wheel.  This shim enables the legacy path::
+
+    python setup.py develop
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — reproduction of Cao & Karras, "Publishing Microdata with a
+Robust Privacy Guarantee" (PVLDB 5(11), 2012).
+
+The package implements the β-likeness privacy model, the BUREL
+generalization algorithm and the perturbation-based scheme, together
+with every substrate the paper's evaluation depends on: a synthetic
+CENSUS dataset, generalization hierarchies, a Hilbert curve, the
+Mondrian family of comparators, SABRE, an Anatomy-style baseline, a
+COUNT-query utility harness, and the attacks of Section 7.
+
+Quickstart::
+
+    from repro import burel, make_census, average_information_loss
+
+    table = make_census(20_000, seed=7)
+    result = burel(table, beta=4.0)
+    print(average_information_loss(result.published))
+"""
+
+from .core import (
+    BetaLikeness,
+    BurelResult,
+    PerturbationScheme,
+    PerturbedTable,
+    burel,
+    perturb_table,
+)
+from .dataset import (
+    GeneralizedTable,
+    Table,
+    make_census,
+    make_patients,
+)
+from .metrics import (
+    average_information_loss,
+    measured_beta,
+    measured_t,
+    privacy_profile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BetaLikeness",
+    "BurelResult",
+    "PerturbationScheme",
+    "PerturbedTable",
+    "burel",
+    "perturb_table",
+    "GeneralizedTable",
+    "Table",
+    "make_census",
+    "make_patients",
+    "average_information_loss",
+    "measured_beta",
+    "measured_t",
+    "privacy_profile",
+    "__version__",
+]

@@ -1,0 +1,218 @@
+"""Equivalence-class constraints for partition-based anonymization.
+
+The paper's §6 comparators are all "Mondrian + a constraint": a strict
+multidimensional partitioner that only performs a split when both halves
+still satisfy some privacy predicate.  This module collects those
+predicates in one place:
+
+* ``k_anonymity``      — LeFevre et al.'s original condition,
+* ``distinct_l_diversity`` — each class holds ≥ ℓ distinct SA values,
+* ``t_closeness``      — EMD between class and overall SA distribution,
+* ``delta_disclosure`` — Brickell & Shmatikov's two-sided log-ratio bound,
+* ``beta_likeness``    — the paper's model (for LMondrian).
+
+Each factory returns an :class:`ECConstraint` whose ``ok(counts, size)``
+takes the class's SA histogram and size — the representation Mondrian
+maintains incrementally — and answers whether the class is admissible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.model import TOLERANCE, BetaLikeness
+from ..metrics.distributions import emd_equal, emd_ordered
+
+
+@dataclass(frozen=True)
+class ECConstraint:
+    """A named predicate over candidate equivalence classes."""
+
+    name: str
+    ok: Callable[[np.ndarray, int], bool]
+
+    def __call__(self, counts: np.ndarray, size: int) -> bool:
+        return self.ok(counts, size)
+
+
+def k_anonymity(k: int) -> ECConstraint:
+    """Each EC must contain at least ``k`` tuples."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        return size >= k
+
+    return ECConstraint(f"{k}-anonymity", ok)
+
+
+def distinct_l_diversity(l: int) -> ECConstraint:
+    """Each EC must contain at least ``l`` distinct SA values."""
+    if l < 1:
+        raise ValueError("l must be >= 1")
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        return size > 0 and int(np.count_nonzero(counts)) >= l
+
+    return ECConstraint(f"distinct {l}-diversity", ok)
+
+
+def entropy_l_diversity(l: float) -> ECConstraint:
+    """Machanavajjhala et al.'s entropy ℓ-diversity.
+
+    The EC's SA distribution must satisfy ``H(Q) >= ln(l)`` — a
+    "well-represented" instantiation stricter than distinct counting.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    threshold = float(np.log(l))
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        q = counts[counts > 0] / size
+        entropy = float(-(q * np.log(q)).sum())
+        return entropy >= threshold - TOLERANCE
+
+    return ECConstraint(f"entropy {l}-diversity", ok)
+
+
+def recursive_cl_diversity(c: float, l: int) -> ECConstraint:
+    """Recursive (c, ℓ)-diversity: ``r_1 < c * (r_l + ... + r_m)`` where
+    ``r_i`` are the EC's SA counts in descending order."""
+    if c <= 0 or l < 2:
+        raise ValueError("need c > 0 and l >= 2")
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        ordered_counts = np.sort(counts[counts > 0])[::-1]
+        if ordered_counts.size < l:
+            return False
+        tail = float(ordered_counts[l - 1 :].sum())
+        return float(ordered_counts[0]) < c * tail + TOLERANCE
+
+    return ECConstraint(f"recursive ({c}, {l})-diversity", ok)
+
+
+def t_closeness(
+    global_p: np.ndarray, t: float, ordered: bool = False
+) -> ECConstraint:
+    """EMD between the EC's SA distribution and ``P`` must not exceed ``t``."""
+    if t <= 0:
+        raise ValueError("t must be positive")
+    global_p = np.asarray(global_p, dtype=float)
+    distance = emd_ordered if ordered else emd_equal
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        return distance(global_p, counts / size) <= t + TOLERANCE
+
+    return ECConstraint(f"{t}-closeness", ok)
+
+
+def kl_closeness(global_p: np.ndarray, budget: float) -> ECConstraint:
+    """Closeness by Kullback–Leibler divergence (Rebollo-Monedero et al.,
+    the [27] variant §2 criticizes): ``KL(Q || P) <= budget`` in bits."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    global_p = np.asarray(global_p, dtype=float)
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        q = counts / size
+        mask = q > 0
+        if np.any(global_p[mask] <= 0):
+            return False
+        kl = float(np.sum(q[mask] * np.log2(q[mask] / global_p[mask])))
+        return kl <= budget + TOLERANCE
+
+    return ECConstraint(f"KL {budget}-closeness", ok)
+
+
+def js_closeness(global_p: np.ndarray, budget: float) -> ECConstraint:
+    """Closeness by Jensen–Shannon divergence (the [20]/[21] smoothing
+    variant §2 criticizes): ``JS(P, Q) <= budget`` in bits."""
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    global_p = np.asarray(global_p, dtype=float)
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        q = counts / size
+        mid = 0.5 * (global_p + q)
+        terms = 0.0
+        mask_p = global_p > 0
+        terms += float(
+            np.sum(global_p[mask_p] * np.log2(global_p[mask_p] / mid[mask_p]))
+        )
+        mask_q = q > 0
+        terms += float(np.sum(q[mask_q] * np.log2(q[mask_q] / mid[mask_q])))
+        return 0.5 * terms <= budget + TOLERANCE
+
+    return ECConstraint(f"JS {budget}-closeness", ok)
+
+
+def delta_disclosure(global_p: np.ndarray, delta: float) -> ECConstraint:
+    """Brickell & Shmatikov's δ-disclosure-privacy.
+
+    For every SA value present in the table (``p_i > 0``) the EC must
+    contain it with frequency ``q_i`` satisfying
+    ``e^{-δ} p_i < q_i < e^{δ} p_i`` — in particular every such value
+    must occur in every EC (a requirement §3 of the paper criticizes).
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    global_p = np.asarray(global_p, dtype=float)
+    present = global_p > 0
+    low = np.exp(-delta) * global_p
+    high = np.exp(delta) * global_p
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        q = counts / size
+        if np.any(q[present] <= 0):
+            return False
+        inside = (q[present] > low[present] - TOLERANCE) & (
+            q[present] < high[present] + TOLERANCE
+        )
+        return bool(inside.all())
+
+    return ECConstraint(f"{delta:.4g}-disclosure", ok)
+
+
+def beta_likeness(
+    global_p: np.ndarray, beta: float, enhanced: bool = True
+) -> ECConstraint:
+    """The paper's model as an EC constraint (used by LMondrian)."""
+    model = BetaLikeness(beta, enhanced=enhanced)
+    global_p = np.asarray(global_p, dtype=float)
+    caps = np.asarray(model.threshold(global_p), dtype=float)
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        return bool(np.all(counts / size <= caps + TOLERANCE))
+
+    kind = "enhanced" if enhanced else "basic"
+    return ECConstraint(f"{kind} {beta}-likeness", ok)
+
+
+def delta_for_beta(global_p: np.ndarray, beta: float) -> float:
+    """The δ making DMondrian comparable to β-likeness (§6.2).
+
+    The paper sets ``δ = log(1 + min{β, -ln(max_i p_i)})`` so that
+    δ-disclosure-privacy implies enhanced β-likeness for every SA value.
+    """
+    global_p = np.asarray(global_p, dtype=float)
+    p_max = float(global_p.max())
+    if not 0 < p_max <= 1:
+        raise ValueError("invalid distribution")
+    return float(np.log(1.0 + min(beta, -np.log(p_max))))

@@ -1,0 +1,193 @@
+"""Strict multidimensional Mondrian with pluggable privacy constraints.
+
+LeFevre et al.'s Mondrian recursively bisects the QI-space at the median
+of the widest (normalized) dimension; a partition node becomes a
+published equivalence class when no dimension admits a cut whose halves
+both satisfy the privacy constraint.  The paper's §6 comparators are
+instances of this template:
+
+* **LMondrian** — constraint = (enhanced) β-likeness,
+* **DMondrian** — constraint = δ-disclosure-privacy with δ chosen to
+  imply β-likeness (``delta_for_beta``),
+* **tMondrian** — constraint = t-closeness,
+* plain ``k``-anonymity Mondrian (used by tests and ablations).
+
+Categorical attributes are cut along their pre-order leaf axis, which is
+the "strict" treatment of hierarchies common to Mondrian
+implementations (each published interval is then re-snapped to the LCA
+node by the EC box constructor).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.published import GeneralizedTable, publish
+from ..dataset.table import Table
+from .constraints import (
+    ECConstraint,
+    beta_likeness,
+    delta_disclosure,
+    delta_for_beta,
+    k_anonymity,
+    t_closeness,
+)
+
+
+@dataclass
+class MondrianResult:
+    """Published table plus provenance for experiments."""
+
+    published: GeneralizedTable
+    constraint: ECConstraint
+    elapsed_seconds: float
+
+
+def mondrian(
+    table: Table, constraint: ECConstraint, try_all_dims: bool = False
+) -> MondrianResult:
+    """Partition ``table`` top-down under ``constraint``.
+
+    Args:
+        table: The microdata to publish.
+        constraint: Admissibility predicate both halves of every cut must
+            satisfy.  The root (whole table) is always published even if
+            it violates the constraint — distribution-based constraints
+            are trivially satisfied at the root, and for others Mondrian
+            has no smaller admissible answer.
+        try_all_dims: The original Mondrian heuristic cuts the single
+            widest (normalized) splittable dimension and *stops* when
+            that cut's halves violate the constraint — the behaviour of
+            the adaptations evaluated in the paper and in Brickell &
+            Shmatikov's negative result (default).  ``True`` upgrades the
+            comparator to retry every dimension before giving up, an
+            ablation measuring how much of the gap is the stock
+            heuristic's fault (DESIGN.md §6).
+
+    Returns:
+        A :class:`MondrianResult` with the published classes.
+    """
+    if table.n_rows == 0:
+        raise ValueError("cannot anonymize an empty table")
+    start = time.perf_counter()
+    m = table.sa_cardinality
+    widths = np.array(
+        [max(attr.width, 1) for attr in table.schema.qi], dtype=float
+    )
+
+    groups: list[np.ndarray] = []
+    stack: list[np.ndarray] = [np.arange(table.n_rows, dtype=np.int64)]
+    while stack:
+        rows = stack.pop()
+        cut = _find_cut(table, rows, widths, constraint, m, try_all_dims)
+        if cut is None:
+            groups.append(rows)
+        else:
+            stack.extend(cut)
+    published = publish(table, groups)
+    return MondrianResult(
+        published=published,
+        constraint=constraint,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def _find_cut(
+    table: Table,
+    rows: np.ndarray,
+    widths: np.ndarray,
+    constraint: ECConstraint,
+    m: int,
+    try_all_dims: bool,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """An admissible median cut, or None if the node becomes an EC.
+
+    Dimensions are considered in order of decreasing normalized span.
+    Unsplittable dimensions (constant, or median pinned at the extreme)
+    are always skipped; once a *cut exists* but fails the privacy
+    constraint, the stock heuristic stops, while ``try_all_dims`` moves
+    on to the next dimension.
+    """
+    qi = table.qi[rows]
+    spans = qi.max(axis=0) - qi.min(axis=0)
+    order = np.argsort(-(spans / widths), kind="stable")
+    for dim in order:
+        if spans[dim] == 0:
+            continue  # no cut possible along a constant dimension
+        column = qi[:, dim]
+        split_value = _median_split_value(column)
+        if split_value is None:
+            continue
+        mask = column <= split_value
+        left = rows[mask]
+        right = rows[~mask]
+        if left.size == 0 or right.size == 0:
+            continue
+        left_counts = np.bincount(table.sa[left], minlength=m)
+        right_counts = np.bincount(table.sa[right], minlength=m)
+        if constraint(left_counts, left.size) and constraint(
+            right_counts, right.size
+        ):
+            return left, right
+        if not try_all_dims:
+            return None
+    return None
+
+
+def _median_split_value(column: np.ndarray) -> int | None:
+    """Largest value ``v`` such that cutting at ``x <= v`` is balanced.
+
+    Uses the frequency-set median (LeFevre et al.): the cut value is the
+    median of the sorted values, pulled left if everything would land on
+    one side.  Returns ``None`` when no cut separates the values.
+    """
+    values = np.sort(column)
+    n = values.shape[0]
+    candidate = int(values[(n - 1) // 2])
+    if candidate < int(values[-1]):
+        return candidate
+    # Median equals the maximum: cut below it if anything is smaller.
+    smaller = values[values < candidate]
+    if smaller.size == 0:
+        return None
+    return int(smaller[-1])
+
+
+# ----------------------------------------------------------------------
+# The paper's named comparators
+# ----------------------------------------------------------------------
+
+
+def k_mondrian(table: Table, k: int, try_all_dims: bool = False) -> MondrianResult:
+    """Plain Mondrian k-anonymity (LeFevre et al.)."""
+    return mondrian(table, k_anonymity(k), try_all_dims=try_all_dims)
+
+
+def l_mondrian(
+    table: Table, beta: float, enhanced: bool = True, try_all_dims: bool = False
+) -> MondrianResult:
+    """LMondrian (§6.2): Mondrian adapted to β-likeness — a split is
+    performed only when both resulting ECs satisfy β-likeness."""
+    constraint = beta_likeness(table.sa_distribution(), beta, enhanced=enhanced)
+    return mondrian(table, constraint, try_all_dims=try_all_dims)
+
+
+def d_mondrian(
+    table: Table, beta: float, try_all_dims: bool = False
+) -> MondrianResult:
+    """DMondrian (§6.2): Mondrian adapted to δ-disclosure-privacy, with δ
+    derived from β so its output obeys β-likeness."""
+    probs = table.sa_distribution()
+    constraint = delta_disclosure(probs, delta_for_beta(probs, beta))
+    return mondrian(table, constraint, try_all_dims=try_all_dims)
+
+
+def t_mondrian(
+    table: Table, t: float, ordered: bool = False, try_all_dims: bool = False
+) -> MondrianResult:
+    """tMondrian (§6.1): Mondrian adapted to t-closeness."""
+    constraint = t_closeness(table.sa_distribution(), t, ordered=ordered)
+    return mondrian(table, constraint, try_all_dims=try_all_dims)

@@ -1,0 +1,39 @@
+"""Inference attacks and resistance measurements (Section 7)."""
+
+from .naive_bayes import AttackResult, naive_bayes_attack, naive_bayes_attack_raw
+from .definetti import (
+    DeFinettiResult,
+    definetti_attack,
+    random_assignment_baseline,
+)
+from .skewness import (
+    GainReport,
+    hierarchy_groups,
+    salary_bands,
+    similarity_gain,
+    skewness_gain,
+)
+from .corruption import (
+    CompositionReport,
+    CorruptionReport,
+    composition_attack,
+    corruption_attack,
+)
+
+__all__ = [
+    "AttackResult",
+    "naive_bayes_attack",
+    "naive_bayes_attack_raw",
+    "DeFinettiResult",
+    "definetti_attack",
+    "random_assignment_baseline",
+    "GainReport",
+    "hierarchy_groups",
+    "salary_bands",
+    "similarity_gain",
+    "skewness_gain",
+    "CompositionReport",
+    "CorruptionReport",
+    "composition_attack",
+    "corruption_attack",
+]

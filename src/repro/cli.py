@@ -1,0 +1,103 @@
+"""Command-line anonymization of CSV microdata.
+
+Usage::
+
+    python -m repro.cli generalize data.csv --qi Age,Gender,Zip \\
+        --numerical Age,Zip --sensitive Disease --beta 2 -o out.csv
+    python -m repro.cli perturb data.csv --qi Age --numerical Age \\
+        --sensitive Disease --beta 2 -o out.csv
+
+``generalize`` runs BUREL and writes one row per tuple with generalized
+QI cells; ``perturb`` runs the Section 5 randomized-response scheme and
+writes exact QI cells with randomized sensitive values plus a JSON
+sidecar carrying the transition matrix.  Both print the measured privacy
+of the publication.
+
+Categorical QI columns get flat hierarchies from their observed values;
+for domain hierarchies, use the library API instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import burel, perturb_table
+from .io import load_csv_table, write_generalized_csv, write_perturbed_csv
+from .metrics import average_information_loss, privacy_profile
+
+
+def _add_io_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("input", help="CSV file with a header row")
+    parser.add_argument(
+        "--qi", required=True,
+        help="comma-separated quasi-identifier columns",
+    )
+    parser.add_argument(
+        "--numerical", default="",
+        help="comma-separated QI columns to treat as integers",
+    )
+    parser.add_argument(
+        "--sensitive", required=True, help="the sensitive column"
+    )
+    parser.add_argument("--beta", type=float, default=2.0)
+    parser.add_argument(
+        "--basic", action="store_true",
+        help="use basic beta-likeness (Definition 2) instead of enhanced",
+    )
+    parser.add_argument("-o", "--output", required=True)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("generalize", "perturb"):
+        _add_io_args(sub.add_parser(name))
+    return parser
+
+
+def _split(arg: str) -> list[str]:
+    return [part for part in arg.split(",") if part]
+
+
+def run(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    table = load_csv_table(
+        args.input,
+        qi_names=_split(args.qi),
+        sensitive_name=args.sensitive,
+        numerical=_split(args.numerical),
+    )
+    print(f"loaded {table.n_rows} tuples, "
+          f"{table.schema.n_qi} QI attributes, "
+          f"{table.sa_cardinality} sensitive values")
+
+    if args.command == "generalize":
+        result = burel(table, args.beta, enhanced=not args.basic)
+        write_generalized_csv(result.published, args.output)
+        print(f"published {len(result.published)} equivalence classes "
+              f"-> {args.output}")
+        print(f"measured privacy: {privacy_profile(result.published)}")
+        print(f"average information loss: "
+              f"{average_information_loss(result.published):.4f}")
+    else:
+        published = perturb_table(
+            table, args.beta, enhanced=not args.basic,
+            rng=np.random.default_rng(args.seed),
+        )
+        write_perturbed_csv(published, args.output)
+        print(f"perturbed table -> {args.output} (+ .json sidecar)")
+        print(f"sensitive values kept intact: "
+              f"{published.retention_rate():.2%}")
+    return 0
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

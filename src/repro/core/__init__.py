@@ -1,0 +1,40 @@
+"""The paper's primary contribution: β-likeness, BUREL and perturbation."""
+
+from .model import BetaLikeness, TOLERANCE
+from .bucketize import BucketPartition, dp_partition, greedy_partition
+from .ectree import (
+    ECNode,
+    ECTree,
+    balanced_halve,
+    beta_eligibility,
+    bi_split,
+    build_ectree,
+    naive_halve,
+    separating_split,
+)
+from .retrieve import HilbertRetriever, RandomRetriever
+from .burel import BurelResult, burel
+from .perturb import PerturbationScheme, PerturbedTable, perturb_table
+
+__all__ = [
+    "BetaLikeness",
+    "TOLERANCE",
+    "BucketPartition",
+    "dp_partition",
+    "greedy_partition",
+    "ECNode",
+    "ECTree",
+    "balanced_halve",
+    "beta_eligibility",
+    "bi_split",
+    "build_ectree",
+    "naive_halve",
+    "separating_split",
+    "HilbertRetriever",
+    "RandomRetriever",
+    "BurelResult",
+    "burel",
+    "PerturbationScheme",
+    "PerturbedTable",
+    "perturb_table",
+]

@@ -1,0 +1,194 @@
+"""Bucketization phase of BUREL (Section 4.3, Function DPpartition).
+
+SA values, sorted by ascending overall frequency, are partitioned into
+consecutive *buckets* so that an EC drawing tuples from each bucket in
+proportion to its size is guaranteed β-likeness (Lemma 2): a window of
+values ``v_b .. v_e`` may share a bucket iff
+
+.. math:: \\sum_{i=b}^{e} p_i < f(p_b)
+
+(the window minimum is ``p_b`` because values are frequency-sorted).  A
+dynamic program minimizes the number of buckets — fewer buckets allow
+smaller ECs in the reallocation phase, hence less information loss.
+
+A greedy first-fit variant is provided as the ablation flagged in
+DESIGN.md §6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import BetaLikeness
+
+
+@dataclass(frozen=True)
+class BucketPartition:
+    """An exact bucket partition of the SA domain (Definition 4).
+
+    Attributes:
+        buckets: One array of SA value codes per bucket.
+        weights: Per-bucket total frequency ``sum_{v in bucket} p_v``.
+        min_freq: Per-bucket minimum frequency ``p_{ℓ_j}``.
+        f_min: Per-bucket eligibility cap ``f(p_{ℓ_j})`` (Theorem 1).
+    """
+
+    buckets: tuple[np.ndarray, ...]
+    weights: np.ndarray
+    min_freq: np.ndarray
+    f_min: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def bucket_of_value(self) -> dict[int, int]:
+        """Map each SA value code to its bucket index."""
+        return {
+            int(v): j for j, bucket in enumerate(self.buckets) for v in bucket
+        }
+
+
+def _assemble(
+    model: BetaLikeness,
+    probs: np.ndarray,
+    order: np.ndarray,
+    boundaries: list[tuple[int, int]],
+) -> BucketPartition:
+    """Materialize a partition from index windows over the sorted order."""
+    buckets, weights, min_freq = [], [], []
+    for b, e in boundaries:
+        values = order[b : e + 1]
+        buckets.append(np.array(sorted(int(v) for v in values), dtype=np.int64))
+        weights.append(float(probs[values].sum()))
+        min_freq.append(float(probs[values].min()))
+    min_arr = np.array(min_freq)
+    return BucketPartition(
+        buckets=tuple(buckets),
+        weights=np.array(weights),
+        min_freq=min_arr,
+        f_min=np.asarray(model.threshold(min_arr), dtype=float),
+    )
+
+
+def dp_partition(
+    probs: np.ndarray,
+    model: BetaLikeness,
+    margin: float = 0.0,
+) -> BucketPartition:
+    """Function DPpartition of the paper, with slack-aware tie-breaking.
+
+    The primary objective is the paper's: minimize the number of buckets
+    among partitions into consecutive frequency-sorted windows, subject
+    to Lemma 2's condition ``sum p_i < f(p_b)`` per window.  Among
+    partitions with the minimum count, this implementation additionally
+    maximizes the *bottleneck slack* ``min_j (f(p_{ℓ_j}) - w_j)``: a
+    bucket packed flush against its cap freezes the reallocation phase
+    (any integer rounding of a near-saturated share breaks Theorem 1's
+    eligibility), so among equally-small partitions the one leaving the
+    most headroom yields far deeper ECTrees.  With a unique minimum-count
+    partition the result is exactly the paper's.
+
+    Args:
+        probs: Overall SA distribution ``P`` over the full domain; values
+            with zero frequency are excluded from bucketization (they
+            have no tuples to place).
+        model: The β-likeness requirement providing ``f``.
+        margin: Optional saturation margin in ``[0, 1)``: windows must
+            satisfy ``sum p_i < (1 - margin) * f(p_b)``.  ``0`` (the
+            default) reproduces the paper's condition verbatim; a small
+            positive margin guarantees reallocation headroom at the cost
+            of (occasionally) one or two extra buckets.  See DESIGN.md §6.
+
+    Returns:
+        A :class:`BucketPartition`.
+    """
+    if not 0.0 <= margin < 1.0:
+        raise ValueError("margin must be in [0, 1)")
+    probs = np.asarray(probs, dtype=float)
+    present = np.nonzero(probs > 0)[0]
+    if present.size == 0:
+        raise ValueError("the table has no sensitive values")
+    # Ascending frequency order; ties broken by value code for determinism.
+    order = present[np.lexsort((present, probs[present]))]
+    p = probs[order]
+    m = p.shape[0]
+    f = np.asarray(model.threshold(p), dtype=float) * (1.0 - margin)
+    prefix = np.concatenate([[0.0], np.cumsum(p)])
+
+    def window_slack(b: int, e: int) -> float:
+        """Headroom of window ``b..e`` (sorted positions, 0-based)."""
+        return float(f[b] - (prefix[e + 1] - prefix[b]))
+
+    def combinable(b: int, e: int) -> bool:
+        """May values at sorted positions ``b..e`` share a bucket?
+
+        Singletons are always allowed (``p < f(p)`` holds for ``p < 1``;
+        for ``p = 1`` the domain is a single value and the window sum
+        equals ``f(1) = 1`` — accept it, there is nothing to split).
+        """
+        if b == e:
+            return True
+        return window_slack(b, e) > 0.0
+
+    # DP of Eq. 6 over prefixes, state = (bucket count, -bottleneck slack)
+    # minimized lexicographically.
+    INF = m + 1
+    n_buckets = np.full(m + 1, INF, dtype=np.int64)
+    n_buckets[0] = 0
+    bottleneck = np.full(m + 1, -np.inf)
+    bottleneck[0] = np.inf
+    split_at = np.zeros(m + 1, dtype=np.int64)  # S[e]: window start (1-based)
+    for e in range(1, m + 1):
+        n_buckets[e] = n_buckets[e - 1] + 1
+        bottleneck[e] = min(bottleneck[e - 1], window_slack(e - 1, e - 1))
+        split_at[e] = e
+        b = e - 1
+        # Windows grow leftwards over smaller frequencies; both the window
+        # sum and the cap f(p_b) move against combinability, so the scan
+        # may stop at the first failure (as in the paper's pseudo-code).
+        while b > 0 and combinable(b - 1, e - 1):
+            count = n_buckets[b - 1] + 1
+            slack = min(bottleneck[b - 1], window_slack(b - 1, e - 1))
+            if count < n_buckets[e] or (
+                count == n_buckets[e] and slack > bottleneck[e]
+            ):
+                n_buckets[e] = count
+                bottleneck[e] = slack
+                split_at[e] = b
+            b -= 1
+
+    boundaries: list[tuple[int, int]] = []
+    e = m
+    while e > 0:
+        b = int(split_at[e])
+        boundaries.append((b - 1, e - 1))
+        e = b - 1
+    boundaries.reverse()
+    return _assemble(model, probs, order, boundaries)
+
+
+def greedy_partition(probs: np.ndarray, model: BetaLikeness) -> BucketPartition:
+    """First-fit ablation: grow each bucket greedily until adding the next
+    (larger-frequency) value would break Lemma 2's condition."""
+    probs = np.asarray(probs, dtype=float)
+    present = np.nonzero(probs > 0)[0]
+    if present.size == 0:
+        raise ValueError("the table has no sensitive values")
+    order = present[np.lexsort((present, probs[present]))]
+    p = probs[order]
+    f = np.asarray(model.threshold(p), dtype=float)
+
+    boundaries: list[tuple[int, int]] = []
+    start = 0
+    running = p[0]
+    for i in range(1, p.shape[0]):
+        if running + p[i] < f[start]:
+            running += p[i]
+        else:
+            boundaries.append((start, i - 1))
+            start = i
+            running = p[i]
+    boundaries.append((start, p.shape[0] - 1))
+    return _assemble(model, probs, order, boundaries)

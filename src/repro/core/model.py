@@ -1,0 +1,118 @@
+"""The β-likeness privacy model (Section 3 of the paper).
+
+β-likeness bounds the *relative* increase of an adversary's confidence in
+each sensitive value after seeing an equivalence class.  For SA value
+``v_i`` with overall frequency ``p_i`` and in-EC frequency ``q_i``:
+
+* **basic β-likeness** (Definition 2) requires, for every value gaining
+  frequency, ``(q_i - p_i) / p_i <= β``, i.e. ``q_i <= (1 + β) p_i``;
+* **enhanced β-likeness** (Definition 3) tightens the bound for frequent
+  values: ``q_i <= f(p_i)`` with
+
+  .. math:: f(p) = (1 + \\min\\{β, -\\ln p\\}) \\cdot p
+
+  (Eq. 1) — linear with slope ``1 + β`` below ``p = e^{-β}``, then the
+  concave ``p (1 - ln p)`` branch which keeps ``f(p) < 1`` for ``p < 1``.
+
+The model object is consumed by both anonymization schemes: BUREL uses
+``f`` in its eligibility condition (Theorem 1) and the perturbation
+scheme uses it as the posterior-confidence cap ``ρ_{2i}`` (Theorem 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Numerical slack for frequency comparisons: an EC whose frequency
+#: exceeds the bound by less than this is accepted (guards against float
+#: round-off in ratios of integers).
+TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BetaLikeness:
+    """A β-likeness requirement.
+
+    Attributes:
+        beta: The β threshold (> 0).
+        enhanced: Use the enhanced model (Definition 3, the paper's
+            default) instead of the basic one (Definition 2).
+    """
+
+    beta: float
+    enhanced: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.beta > 0:
+            raise ValueError("beta must be positive")
+
+    # ------------------------------------------------------------------
+    # The bound function
+    # ------------------------------------------------------------------
+
+    def threshold(self, p):
+        """Maximum allowed in-EC frequency ``f(p)`` for overall frequency ``p``.
+
+        Vectorized over numpy arrays.  ``f(0) = 0``: a value absent from
+        the table may not appear in any EC (it has no tuples anyway).
+        """
+        p = np.asarray(p, dtype=float)
+        if np.any(p < 0) or np.any(p > 1):
+            raise ValueError("frequencies must lie in [0, 1]")
+        if not self.enhanced:
+            out = (1.0 + self.beta) * p
+        else:
+            with np.errstate(divide="ignore"):
+                neg_log = np.where(p > 0, -np.log(np.where(p > 0, p, 1.0)), np.inf)
+            out = (1.0 + np.minimum(self.beta, neg_log)) * p
+        return out if out.ndim else float(out)
+
+    # ------------------------------------------------------------------
+    # Compliance checks
+    # ------------------------------------------------------------------
+
+    def gain(self, p: float, q: float) -> float:
+        """The distance ``D(p, q) = (q - p)/p`` of Definition 1 (positive
+        side only; non-positive gain returns 0; ``inf`` if ``p = 0 < q``)."""
+        if q <= p:
+            return 0.0
+        if p <= 0.0:
+            return float("inf")
+        return (q - p) / p
+
+    def complies(self, global_p: np.ndarray, ec_q: np.ndarray) -> bool:
+        """Does an EC distribution ``Q`` satisfy β-likeness w.r.t. ``P``?"""
+        global_p = np.asarray(global_p, dtype=float)
+        ec_q = np.asarray(ec_q, dtype=float)
+        if global_p.shape != ec_q.shape:
+            raise ValueError("P and Q must cover the same SA domain")
+        return bool(np.all(ec_q <= self.threshold(global_p) + TOLERANCE))
+
+    def complies_counts(
+        self, global_counts: np.ndarray, ec_counts: np.ndarray
+    ) -> bool:
+        """Count-based variant used in algorithm inner loops.
+
+        Args:
+            global_counts: ``N_i`` per SA value over the whole table.
+            ec_counts: Tuple counts per SA value within the candidate EC.
+        """
+        global_counts = np.asarray(global_counts, dtype=np.int64)
+        ec_counts = np.asarray(ec_counts, dtype=np.int64)
+        n = int(global_counts.sum())
+        size = int(ec_counts.sum())
+        if size == 0:
+            return False
+        return self.complies(global_counts / n, ec_counts / size)
+
+    def violations(self, global_p: np.ndarray, ec_q: np.ndarray) -> np.ndarray:
+        """Indices of SA values whose in-EC frequency breaks the bound."""
+        global_p = np.asarray(global_p, dtype=float)
+        ec_q = np.asarray(ec_q, dtype=float)
+        return np.nonzero(ec_q > self.threshold(global_p) + TOLERANCE)[0]
+
+    def __str__(self) -> str:
+        kind = "enhanced" if self.enhanced else "basic"
+        return f"{kind} {self.beta}-likeness"

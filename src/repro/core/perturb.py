@@ -1,0 +1,236 @@
+"""Perturbation-based β-likeness (Section 5 of the paper).
+
+Generalization struggles with remote outliers and extremely rare SA
+values; the paper's second scheme instead perturbs SA values tuple-by-
+tuple (QI values stay intact), in the style of randomized response but
+with a *different* retention probability per SA value.
+
+For each SA value ``v_i`` with overall frequency ``p_i``:
+
+* prior confidence ``ρ_{1i} = p_i`` and posterior cap
+  ``ρ_{2i} = f(p_i)`` — the enhanced β-likeness bound (Definition 6);
+* ``γ_i = (ρ_{2i}/ρ_{1i}) · (1-ρ_{1i})/(1-ρ_{2i})`` (Theorem 2's ratio
+  bound for (ρ1, ρ2)-privacy);
+* the retention probability is ``α_i = (m γ_i C_LM - 1)/(m - 1)`` with
+  ``C_LM = 1/(γ_ℓ + m - 1)``, ``γ_ℓ = max_h γ_h`` (Theorem 3).
+
+Uniform perturbation then keeps ``v_i`` with probability ``α_i`` and
+otherwise replaces it by a uniformly random domain value.  The published
+transition matrix ``PM`` (``PM[i, j] = Pr(v_j → v_i)``) lets a recipient
+reconstruct SA counts of any QI-filtered subset as ``N' = PM⁻¹ E'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.table import Table
+from .model import BetaLikeness
+
+
+@dataclass(frozen=True)
+class PerturbationScheme:
+    """The fitted per-value uniform perturbation (Theorem 3).
+
+    Attributes:
+        domain: SA value codes with positive frequency, ascending.  The
+            scheme operates on this *present* domain of size ``m``; values
+            absent from the table can be neither input nor output.
+        probs: ``ρ_{1i} = p_i`` per present value.
+        caps: ``ρ_{2i} = f(p_i)`` per present value.
+        gammas: ``γ_i`` per present value.
+        alphas: Retention probabilities ``α_i`` (clipped into [0, 1];
+            clipping downward only ever strengthens privacy).
+        c_lm: The lower bound ``C_LM`` on any cross-value transition.
+        matrix: ``PM`` with ``PM[i, j] = Pr(v_j → v_i)`` over the present
+            domain (column-stochastic).
+    """
+
+    domain: np.ndarray
+    probs: np.ndarray
+    caps: np.ndarray
+    gammas: np.ndarray
+    alphas: np.ndarray
+    c_lm: float
+    matrix: np.ndarray
+
+    @property
+    def m(self) -> int:
+        return int(self.domain.shape[0])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls, probs: np.ndarray, beta: float, enhanced: bool = True
+    ) -> "PerturbationScheme":
+        """Fit the scheme to an overall SA distribution.
+
+        Args:
+            probs: Overall SA distribution over the full domain; zero
+                entries are excluded from the perturbation domain.
+            beta: The β threshold.
+            enhanced: Enhanced vs basic bound for ``ρ_{2i}``; with the
+                basic model caps are clipped below 1 (a cap of 1 would
+                make γ infinite — such values need no protection).
+        """
+        model = BetaLikeness(beta, enhanced=enhanced)
+        probs = np.asarray(probs, dtype=float)
+        domain = np.nonzero(probs > 0)[0].astype(np.int64)
+        if domain.size == 0:
+            raise ValueError("the table has no sensitive values")
+        p = probs[domain]
+        p = p / p.sum()  # re-normalize over the present domain
+        m = domain.size
+        if m == 1:
+            # A single-value domain: publication reveals nothing beyond P.
+            return cls(
+                domain=domain,
+                probs=p,
+                caps=np.ones(1),
+                gammas=np.array([np.inf]),
+                alphas=np.ones(1),
+                c_lm=1.0,
+                matrix=np.ones((1, 1)),
+            )
+        caps = np.minimum(np.asarray(model.threshold(p), dtype=float), 1.0 - 1e-12)
+        caps = np.maximum(caps, p)  # the posterior cap is at least the prior
+        gammas = (caps / p) * ((1.0 - p) / (1.0 - caps))
+        gamma_max = float(gammas.max())
+        c_lm = 1.0 / (gamma_max + m - 1)
+        alphas = (m * gammas * c_lm - 1.0) / (m - 1)
+        if np.any(alphas < 0.0):
+            # Theorem 3's per-value formula is infeasible when the γ
+            # values are too heterogeneous (a negative α_i would be
+            # required: the value's retention floor 1/m already exceeds
+            # its allowed transition probability γ_i C_LM).  The paper
+            # does not treat this case; fall back to the sound uniform
+            # scheme whose common α satisfies Theorem 2's ratio bound
+            # against the *smallest* γ, hence against every γ_i.
+            gamma_min = float(gammas.min())
+            alphas = np.full(m, (gamma_min - 1.0) / (gamma_min + m - 1))
+        alphas = np.minimum(alphas, 1.0)
+        matrix = cls._transition_matrix(alphas, m)
+        return cls(
+            domain=domain,
+            probs=p,
+            caps=caps,
+            gammas=gammas,
+            alphas=alphas,
+            c_lm=c_lm,
+            matrix=matrix,
+        )
+
+    @staticmethod
+    def _transition_matrix(alphas: np.ndarray, m: int) -> np.ndarray:
+        """``PM[i, j] = Pr(v_j → v_i)`` from Eq. 12: the diagonal holds
+        ``α_j + (1 - α_j)/m`` and the rest of column ``j`` holds
+        ``(1 - α_j)/m``.  With unclipped α this equals the paper's
+        ``X_j = γ_j C_LM`` / ``Y_j = (1 - γ_j C_LM)/(m-1)`` closed form."""
+        y = (1.0 - alphas) / m
+        matrix = np.tile(y, (m, 1))
+        np.fill_diagonal(matrix, alphas + y)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+
+    def perturb(self, sa: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Randomize a vector of SA codes (Eq. 12's uniform perturbation).
+
+        Each value ``v_i`` is kept with probability ``α_i`` and otherwise
+        replaced by a uniform draw from the (present) domain — possibly
+        itself, exactly as Eq. 12 specifies.
+        """
+        sa = np.asarray(sa, dtype=np.int64)
+        code_to_pos = {int(v): k for k, v in enumerate(self.domain)}
+        try:
+            pos = np.array([code_to_pos[int(v)] for v in sa], dtype=np.int64)
+        except KeyError as exc:
+            raise ValueError(f"SA code {exc} is outside the fitted domain") from exc
+        keep = rng.random(sa.shape[0]) < self.alphas[pos]
+        random_pos = rng.integers(0, self.m, size=sa.shape[0])
+        out_pos = np.where(keep, pos, random_pos)
+        return self.domain[out_pos]
+
+    def reconstruct(self, observed_counts: np.ndarray) -> np.ndarray:
+        """Estimate original SA counts from observed perturbed counts.
+
+        Args:
+            observed_counts: ``E'`` over the *full* SA domain (entries for
+                absent values must be zero).
+
+        Returns:
+            ``N' = PM⁻¹ E'`` mapped back onto the full domain.  Entries
+            can be negative — that is inherent to matrix inversion on
+            noisy counts and the query estimator sums them as-is.
+        """
+        observed = np.asarray(observed_counts, dtype=float)
+        e_present = observed[self.domain]
+        if self.m == 1:
+            n_present = e_present
+        else:
+            n_present = np.linalg.solve(self.matrix, e_present)
+        out = np.zeros_like(observed, dtype=float)
+        out[self.domain] = n_present
+        return out
+
+    def expected_observed(self, true_counts: np.ndarray) -> np.ndarray:
+        """``E = PM × N`` over the full domain (used by tests/examples)."""
+        true = np.asarray(true_counts, dtype=float)
+        out = np.zeros_like(true, dtype=float)
+        out[self.domain] = self.matrix @ true[self.domain]
+        return out
+
+
+@dataclass
+class PerturbedTable:
+    """The perturbation scheme's publication format.
+
+    QI values are exact; SA values are randomized; the transition matrix
+    (inside ``scheme``) and the overall SA distribution are published
+    alongside, as Section 5 prescribes.
+    """
+
+    source: Table
+    sa_perturbed: np.ndarray
+    scheme: PerturbationScheme
+
+    @property
+    def schema(self):
+        return self.source.schema
+
+    @property
+    def n_rows(self) -> int:
+        return self.source.n_rows
+
+    @property
+    def qi(self) -> np.ndarray:
+        return self.source.qi
+
+    def retention_rate(self) -> float:
+        """Fraction of tuples whose SA survived unchanged (diagnostic)."""
+        return float(np.mean(self.sa_perturbed == self.source.sa))
+
+
+def perturb_table(
+    table: Table,
+    beta: float,
+    enhanced: bool = True,
+    rng: np.random.Generator | None = None,
+) -> PerturbedTable:
+    """Apply the Section 5 scheme to a table.
+
+    Returns a :class:`PerturbedTable` whose SA column is randomized so
+    that adversarial posterior confidence in any value ``v_i`` is at most
+    ``f(p_i)`` (Theorem 3).
+    """
+    rng = rng or np.random.default_rng(0)
+    scheme = PerturbationScheme.fit(table.sa_distribution(), beta, enhanced=enhanced)
+    sa_new = scheme.perturb(table.sa, rng)
+    return PerturbedTable(source=table, sa_perturbed=sa_new, scheme=scheme)

@@ -1,0 +1,273 @@
+"""Materialization of ECs: drawing concrete tuples from buckets (§4.5).
+
+The reallocation phase fixes *how many* tuples each EC takes from each
+bucket; this module decides *which* tuples.  BUREL greedily groups
+tuples that are close in QI-space so the resulting bounding boxes — and
+therefore the information loss of Eq. 4 — stay small.  Exact
+nearest-neighbour search is too expensive, so the paper sorts each
+bucket's tuples by their Hilbert-curve value and picks, for every EC, the
+tuples whose Hilbert values are nearest to a seed tuple's.
+
+:class:`HilbertRetriever` implements that heuristic with an amortized
+near-constant-time "alive neighbour" structure (union-find style path
+compression over the sorted order), so materializing all ECs costs
+``O(|DB| α + |S_G| |φ| log |DB|)``.
+
+:class:`RandomRetriever` is the ablation (random draws, no locality),
+used to quantify how much the Hilbert heuristic buys.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..dataset.table import Table
+from ..hilbert import scaled_hilbert_key
+from .bucketize import BucketPartition
+
+
+def _row_buckets(table: Table, partition: BucketPartition) -> np.ndarray:
+    """Bucket index of every row, via a vectorized value->bucket map."""
+    value_to_bucket = np.full(table.sa_cardinality, -1, dtype=np.int64)
+    for j, bucket in enumerate(partition.buckets):
+        value_to_bucket[bucket] = j
+    row_bucket = value_to_bucket[table.sa]
+    if np.any(row_bucket < 0):
+        raise ValueError("the bucket partition does not cover every SA value")
+    return row_bucket
+
+
+def qi_space_keys(table: Table) -> np.ndarray:
+    """Hilbert keys of all tuples in normalized QI-space.
+
+    Each attribute's domain is stretched to the full curve grid so that
+    one attribute's full span weighs the same in every direction —
+    mirroring the information-loss metric's normalization (Eq. 2) and
+    preserving curve locality for mixed-cardinality schemas.
+    """
+    lows = np.array([attr.lo for attr in table.schema.qi], dtype=float)
+    highs = np.array([attr.hi for attr in table.schema.qi], dtype=float)
+    return scaled_hilbert_key(table.qi, lows, highs).astype(np.int64)
+
+
+class Retriever(Protocol):
+    """Anything that can turn EC size specs into row-index groups."""
+
+    def materialize(self, specs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Return one array of source-row indices per EC spec."""
+        ...
+
+
+class _AliveOrder:
+    """Alive/used bookkeeping over a sorted array with O(α) neighbour hops.
+
+    ``right[i]`` points at the smallest alive position >= i and ``left[i]``
+    at the largest alive position <= i, both maintained with path
+    compression.  Positions are killed once taken.
+    """
+
+    def __init__(self, size: int):
+        # Alive entries are self-loops; killed ones point past
+        # themselves.  The right structure is indexed by position with a
+        # sentinel self-loop at `size`; the left structure is indexed by
+        # position + 1 with a sentinel self-loop at 0 (= "position -1").
+        self.right = np.arange(size + 1, dtype=np.int64)
+        self.left = np.arange(size + 1, dtype=np.int64)
+        self.alive = size
+
+    def find_right(self, i: int) -> int:
+        """Smallest alive position >= i, or ``size`` if none."""
+        root = i
+        while self.right[root] != root:
+            root = self.right[root]
+        # Path compression.
+        while self.right[i] != root:
+            self.right[i], i = root, self.right[i]
+        return int(root)
+
+    def find_left(self, i: int) -> int:
+        """Largest alive position <= i, or -1 if none."""
+        if i < 0:
+            return -1
+        root = i + 1  # shifted coordinates
+        while self.left[root] != root:
+            root = self.left[root]
+        j = i + 1
+        while self.left[j] != root:
+            self.left[j], j = root, self.left[j]
+        return int(root) - 1
+
+    def kill(self, i: int) -> None:
+        """Mark position ``i`` used."""
+        self.right[i] = i + 1
+        self.left[i + 1] = i  # shifted: next lookup lands on position i-1
+        self.alive -= 1
+
+
+class _BucketStore:
+    """One bucket's tuples sorted by Hilbert key, with alive tracking."""
+
+    def __init__(self, rows: np.ndarray, keys: np.ndarray):
+        order = np.argsort(keys, kind="stable")
+        self.rows = rows[order]
+        self.keys = keys[order]
+        self.order = _AliveOrder(rows.shape[0])
+
+    @property
+    def n_alive(self) -> int:
+        return self.order.alive
+
+    def first_alive_key(self) -> int | None:
+        pos = self.order.find_right(0)
+        if pos >= self.rows.shape[0]:
+            return None
+        return int(self.keys[pos])
+
+    def take_nearest(self, seed_key: int, count: int) -> np.ndarray:
+        """Take the ``count`` alive tuples with keys nearest ``seed_key``."""
+        if count > self.order.alive:
+            raise ValueError("bucket exhausted: spec exceeds remaining tuples")
+        taken = np.empty(count, dtype=np.int64)
+        size = self.rows.shape[0]
+        pos = int(np.searchsorted(self.keys, seed_key))
+        r = self.order.find_right(pos)
+        l = self.order.find_left(pos - 1)
+        for k in range(count):
+            take_right: bool
+            if r >= size and l < 0:
+                raise AssertionError(
+                    "bucket ran out of alive tuples mid-draw; spec "
+                    "validation should have prevented this"
+                )
+            if r >= size:
+                take_right = False
+            elif l < 0:
+                take_right = True
+            else:
+                dist_r = int(self.keys[r]) - seed_key
+                dist_l = seed_key - int(self.keys[l])
+                take_right = dist_r <= dist_l
+            if take_right:
+                taken[k] = self.rows[r]
+                self.order.kill(r)
+                r = self.order.find_right(r + 1)
+            else:
+                taken[k] = self.rows[l]
+                self.order.kill(l)
+                l = self.order.find_left(l - 1)
+        return taken
+
+
+class HilbertRetriever:
+    """Greedy nearest-neighbour retrieval along the Hilbert curve.
+
+    For every EC the seed is the alive tuple with the smallest Hilbert
+    value among buckets the EC draws from (a deterministic sweep along
+    the curve; the paper seeds randomly, pass ``rng`` to mimic that).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        partition: BucketPartition,
+        rng: np.random.Generator | None = None,
+    ):
+        self.table = table
+        self.partition = partition
+        self.rng = rng
+        keys = qi_space_keys(table)
+        row_bucket = _row_buckets(table, partition)
+        self.buckets: list[_BucketStore] = []
+        for j in range(len(partition)):
+            rows = np.nonzero(row_bucket == j)[0].astype(np.int64)
+            self.buckets.append(_BucketStore(rows, keys[rows]))
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Tuple counts per bucket (input to the reallocation phase)."""
+        return np.array([b.rows.shape[0] for b in self.buckets], dtype=np.int64)
+
+    def _seed_key(self, spec: np.ndarray) -> int:
+        candidates = [
+            self.buckets[j].first_alive_key()
+            for j in range(len(self.buckets))
+            if spec[j] > 0
+        ]
+        candidates = [c for c in candidates if c is not None]
+        if not candidates:
+            raise ValueError("no tuples remain for a non-empty spec")
+        if self.rng is not None:
+            return int(self.rng.choice(candidates))
+        return min(candidates)
+
+    def materialize(self, specs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        specs = [np.asarray(s, dtype=np.int64) for s in specs]
+        self._validate(specs)
+        groups: list[np.ndarray] = []
+        for spec in specs:
+            seed = self._seed_key(spec)
+            parts = [
+                self.buckets[j].take_nearest(seed, int(spec[j]))
+                for j in range(len(self.buckets))
+                if spec[j] > 0
+            ]
+            groups.append(np.concatenate(parts))
+        return groups
+
+    def _validate(self, specs: Sequence[np.ndarray]) -> None:
+        totals = np.zeros(len(self.buckets), dtype=np.int64)
+        for spec in specs:
+            if spec.shape != (len(self.buckets),):
+                raise ValueError("spec length must equal the bucket count")
+            if np.any(spec < 0):
+                raise ValueError("specs must be non-negative")
+            totals += spec
+        if not np.array_equal(totals, self.bucket_sizes()):
+            raise ValueError(
+                "specs must consume each bucket exactly "
+                f"(need {self.bucket_sizes().tolist()}, got {totals.tolist()})"
+            )
+
+
+class RandomRetriever:
+    """Ablation: draw tuples uniformly at random from each bucket."""
+
+    def __init__(
+        self,
+        table: Table,
+        partition: BucketPartition,
+        rng: np.random.Generator | None = None,
+    ):
+        self.table = table
+        self.partition = partition
+        rng = rng or np.random.default_rng(0)
+        row_bucket = _row_buckets(table, partition)
+        self._pools: list[np.ndarray] = []
+        self._cursors: list[int] = []
+        for j in range(len(partition)):
+            rows = np.nonzero(row_bucket == j)[0].astype(np.int64)
+            rng.shuffle(rows)
+            self._pools.append(rows)
+            self._cursors.append(0)
+
+    def bucket_sizes(self) -> np.ndarray:
+        return np.array([p.shape[0] for p in self._pools], dtype=np.int64)
+
+    def materialize(self, specs: Sequence[np.ndarray]) -> list[np.ndarray]:
+        groups: list[np.ndarray] = []
+        for spec in specs:
+            parts = []
+            for j, count in enumerate(np.asarray(spec, dtype=np.int64)):
+                if count == 0:
+                    continue
+                start = self._cursors[j]
+                end = start + int(count)
+                if end > self._pools[j].shape[0]:
+                    raise ValueError("bucket exhausted: spec exceeds remaining tuples")
+                parts.append(self._pools[j][start:end])
+                self._cursors[j] = end
+            if not parts:
+                raise ValueError("empty EC spec")
+            groups.append(np.concatenate(parts))
+        return groups

@@ -1,0 +1,52 @@
+"""Microdata substrate: schemas, tables, publication formats, datasets."""
+
+from .schema import Attribute, AttributeKind, Schema, SensitiveAttribute
+from .table import Table
+from .published import (
+    EquivalenceClass,
+    GeneralizedTable,
+    box_of_rows,
+    make_equivalence_class,
+    publish,
+)
+from .census import (
+    CENSUS_QI_ORDER,
+    DEFAULT_QI,
+    census_schema,
+    make_census,
+    salary_distribution,
+)
+from .patients import (
+    DISEASES,
+    disease_hierarchy,
+    make_example2_table,
+    make_patients,
+    patients_schema,
+)
+from .display import describe_class, describe_interval, show_published
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "SensitiveAttribute",
+    "Table",
+    "EquivalenceClass",
+    "GeneralizedTable",
+    "box_of_rows",
+    "make_equivalence_class",
+    "publish",
+    "CENSUS_QI_ORDER",
+    "DEFAULT_QI",
+    "census_schema",
+    "make_census",
+    "salary_distribution",
+    "DISEASES",
+    "disease_hierarchy",
+    "make_example2_table",
+    "make_patients",
+    "patients_schema",
+    "describe_class",
+    "describe_interval",
+    "show_published",
+]

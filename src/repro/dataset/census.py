@@ -1,0 +1,280 @@
+"""Synthetic CENSUS dataset matching the paper's Table 3.
+
+The paper evaluates on an IPUMS CENSUS extract of 500 000 tuples with six
+attributes.  That extract is not redistributable and the reproduction
+environment is offline, so this module generates a synthetic stand-in
+with the same *shape* (see DESIGN.md §3):
+
+* exact Table 3 schema and cardinalities — Age (79 values, numerical),
+  Gender (2, categorical height 1), Education Level (17, numerical),
+  Marital Status (6, categorical height 2), Work Class (10, categorical
+  height 3), Salary Class (50 values, the SA);
+* the SA frequency profile reported in §6: least frequent value 0.2018%,
+  most frequent 4.8402%, with the most frequent class sitting at code 12
+  and the least frequent at code 49 (a unimodal profile peaked at 12);
+* a tunable QI↔SA correlation so query-utility and attack experiments
+  exercise realistic dependence between salary and age / education /
+  work class.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+import numpy as np
+
+from ..hierarchy import Hierarchy
+from .schema import Attribute, Schema, SensitiveAttribute
+from .table import Table
+
+#: Fraction of tuples holding the least / most frequent salary class (§6).
+LEAST_FREQUENT = 0.002018
+MOST_FREQUENT = 0.048402
+
+#: Salary-class codes of the frequency extremes, as reported in §6.
+MOST_FREQUENT_CODE = 12
+LEAST_FREQUENT_CODE = 49
+
+#: Number of salary classes (Table 3).
+N_SALARY_CLASSES = 50
+
+#: QI attribute names in Table 3 order; the paper's default QI set is the
+#: first three.
+CENSUS_QI_ORDER = ("Age", "Gender", "Education", "Marital", "WorkClass")
+DEFAULT_QI = CENSUS_QI_ORDER[:3]
+
+
+def gender_hierarchy() -> Hierarchy:
+    """Height-1 hierarchy: person -> {male, female}."""
+    return Hierarchy.from_spec(("person", ["male", "female"]))
+
+
+def marital_hierarchy() -> Hierarchy:
+    """Height-2 hierarchy over 6 marital statuses."""
+    return Hierarchy.from_spec(
+        (
+            "any-status",
+            [
+                ("ever-married", ["married", "separated", "divorced", "widowed"]),
+                ("never-married", ["single", "partnered"]),
+            ],
+        )
+    )
+
+
+def work_class_hierarchy() -> Hierarchy:
+    """Height-3 hierarchy over 10 work classes."""
+    return Hierarchy.from_spec(
+        (
+            "any-work",
+            [
+                (
+                    "employed",
+                    [
+                        (
+                            "private-sector",
+                            [
+                                "private-small",
+                                "private-large",
+                                "self-employed-inc",
+                                "self-employed-uninc",
+                            ],
+                        ),
+                        ("government", ["federal-gov", "state-gov", "local-gov"]),
+                    ],
+                ),
+                (
+                    "not-employed",
+                    [("out-of-workforce", ["unemployed", "retired", "never-worked"])],
+                ),
+            ],
+        )
+    )
+
+
+def census_schema() -> Schema:
+    """The Table 3 schema with all five QI attributes."""
+    qi = [
+        Attribute.numerical("Age", 17, 95),          # 79 distinct values
+        Attribute.categorical("Gender", gender_hierarchy()),
+        Attribute.numerical("Education", 1, 17),     # 17 distinct values
+        Attribute.categorical("Marital", marital_hierarchy()),
+        Attribute.categorical("WorkClass", work_class_hierarchy()),
+    ]
+    salary = SensitiveAttribute(
+        "SalaryClass", tuple(f"salary-{i:02d}" for i in range(N_SALARY_CLASSES))
+    )
+    return Schema(qi, salary)
+
+
+@functools.lru_cache(maxsize=8)
+def salary_distribution(
+    m: int = N_SALARY_CLASSES,
+    p_min: float = LEAST_FREQUENT,
+    p_max: float = MOST_FREQUENT,
+    peak: int = MOST_FREQUENT_CODE,
+    tail: int = LEAST_FREQUENT_CODE,
+) -> tuple[float, ...]:
+    """The overall salary-class distribution ``P``.
+
+    Frequencies follow a stretched-exponential profile
+    ``p_(r) = p_max * exp(-s * (r/(m-1))**k)`` over frequency ranks ``r``,
+    with ``s = ln(p_max / p_min)`` fixing both extremes and ``k`` solved
+    so the frequencies sum to one.  Ranks are then laid onto salary codes
+    unimodally around ``peak`` so that the most frequent class is
+    ``peak`` and the least frequent is ``tail`` (as in the paper's data).
+    """
+    if m < 2:
+        raise ValueError("need at least two salary classes")
+    s = math.log(p_max / p_min)
+    grid = np.arange(m) / (m - 1)
+
+    def total(k: float) -> float:
+        return float(np.sum(p_max * np.exp(-s * grid**k)))
+
+    lo_k, hi_k = 1e-3, 64.0
+    if not (total(lo_k) < 1.0 < total(hi_k)):
+        raise ValueError("frequency extremes are infeasible for a distribution")
+    for _ in range(200):
+        mid = 0.5 * (lo_k + hi_k)
+        if total(mid) < 1.0:
+            lo_k = mid
+        else:
+            hi_k = mid
+    by_rank = p_max * np.exp(-s * grid ** (0.5 * (lo_k + hi_k)))
+
+    # Assign ranks to codes unimodally around the peak: rank 0 at the
+    # peak, then alternating outwards; the farthest code gets the last
+    # rank.  With peak=12 in a 50-value domain, code 49 is farthest and
+    # receives the minimum frequency, matching the paper.
+    order = sorted(range(m), key=lambda c: (abs(c - peak), c))
+    probs = np.empty(m)
+    for rank, code in enumerate(order):
+        probs[code] = by_rank[rank]
+    probs /= probs.sum()  # remove the ~1e-12 solver residual
+    if order[-1] != tail:
+        raise AssertionError("profile layout no longer places the minimum at `tail`")
+    return tuple(float(p) for p in probs)
+
+
+def exact_sa_counts(n: int, probs: np.ndarray) -> np.ndarray:
+    """Integer SA counts of total ``n`` via largest-remainder rounding.
+
+    Every value with positive probability receives at least one tuple, so
+    the published domain equals the intended domain (the paper's P has no
+    zero entries).
+    """
+    if n < probs.size:
+        raise ValueError(f"need at least {probs.size} tuples, got {n}")
+    raw = probs * n
+    counts = np.floor(raw).astype(np.int64)
+    counts = np.maximum(counts, 1)
+    deficit = n - int(counts.sum())
+    if deficit > 0:
+        remainders = raw - np.floor(raw)
+        for idx in np.argsort(-remainders):
+            if deficit == 0:
+                break
+            counts[idx] += 1
+            deficit -= 1
+    elif deficit < 0:
+        for idx in np.argsort(-counts):
+            if deficit == 0:
+                break
+            if counts[idx] > 1:
+                counts[idx] -= 1
+                deficit += 1
+    if counts.sum() != n:
+        raise AssertionError("count rounding failed to reach the target size")
+    return counts
+
+
+def _categorical_rows(p_matrix: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Sample one category per row from a per-row probability matrix."""
+    cumulative = np.cumsum(p_matrix, axis=1)
+    cumulative[:, -1] = 1.0 + 1e-12  # absorb float round-off
+    draws = rng.random(p_matrix.shape[0])
+    return (draws[:, None] > cumulative).sum(axis=1).astype(np.int64)
+
+
+def make_census(
+    n: int = 50_000,
+    seed: int = 7,
+    correlation: float = 0.3,
+    qi_names: tuple[str, ...] | None = None,
+) -> Table:
+    """Generate the synthetic CENSUS table.
+
+    Args:
+        n: Number of tuples (the paper uses 100K–500K; defaults are
+            laptop-scale).
+        seed: Seed for the numpy PRNG; identical seeds give identical
+            tables.
+        correlation: Strength in ``[0, 1]`` of the dependence between the
+            salary class and the QI attributes (0 = independent).
+        qi_names: Optional subset of :data:`CENSUS_QI_ORDER` to keep, in
+            the given order.  Defaults to all five attributes.
+
+    Returns:
+        A :class:`Table` with the Table 3 schema.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    schema = census_schema()
+    rng = np.random.default_rng(seed)
+    probs = np.asarray(salary_distribution(), dtype=float)
+    counts = exact_sa_counts(n, probs)
+
+    # SA codes laid out deterministically, then shuffled so row order is
+    # not informative.
+    sa = np.repeat(np.arange(N_SALARY_CLASSES, dtype=np.int64), counts)
+    rng.shuffle(sa)
+
+    level = sa / (N_SALARY_CLASSES - 1)  # normalized salary level in [0, 1]
+    c = correlation
+
+    # Age: higher salary classes skew older.
+    age_mean = 30.0 + 30.0 * c * level + 15.0 * (1.0 - c) * 0.5
+    age = np.clip(np.rint(rng.normal(age_mean, 11.0)), 17, 95).astype(np.int64)
+
+    # Education: strongly tied to salary level when correlated.
+    edu_mean = 3.0 + 11.0 * (c * level + (1.0 - c) * 0.5)
+    education = np.clip(np.rint(rng.normal(edu_mean, 2.5)), 1, 17).astype(np.int64)
+
+    # Gender: mild dependence.
+    p_female = np.clip(0.5 - 0.12 * c * (level - 0.5), 0.0, 1.0)
+    gender = (rng.random(n) < p_female).astype(np.int64)  # 0=male, 1=female
+
+    # Marital status: driven by age (ever-married more likely when older).
+    # Leaf order: married, separated, divorced, widowed, single, partnered.
+    age_norm = (age - 17) / 78.0
+    base_marital = np.array([0.32, 0.05, 0.12, 0.06, 0.33, 0.12])
+    shift = np.array([0.30, 0.02, 0.08, 0.10, -0.38, -0.12])
+    marital_probs = base_marital[None, :] + c * age_norm[:, None] * shift[None, :]
+    marital_probs = np.clip(marital_probs, 0.01, None)
+    marital_probs /= marital_probs.sum(axis=1, keepdims=True)
+    marital = _categorical_rows(marital_probs, rng)
+
+    # Work class: salary level pushes towards incorporated self-employment
+    # and large-private / federal employers.
+    # Leaf order: private-small, private-large, self-inc, self-uninc,
+    #             federal, state, local, unemployed, retired, never-worked.
+    base_work = np.array(
+        [0.26, 0.18, 0.04, 0.07, 0.05, 0.06, 0.08, 0.10, 0.12, 0.04]
+    )
+    shift_w = np.array(
+        [-0.10, 0.12, 0.08, 0.00, 0.05, 0.02, 0.00, -0.08, -0.05, -0.04]
+    )
+    work_probs = base_work[None, :] + c * level[:, None] * shift_w[None, :]
+    work_probs = np.clip(work_probs, 0.005, None)
+    work_probs /= work_probs.sum(axis=1, keepdims=True)
+    work = _categorical_rows(work_probs, rng)
+
+    qi = np.column_stack([age, gender, education, marital, work])
+    table = Table(schema, qi, sa)
+    if qi_names is not None:
+        table = table.project(list(qi_names))
+    return table

@@ -1,0 +1,54 @@
+"""Human-readable rendering of published tables.
+
+Generalized publications store boxes as integer rank intervals; these
+helpers translate them back to attribute values and hierarchy node
+labels, which is what the examples and any downstream consumer print.
+"""
+
+from __future__ import annotations
+
+from .published import EquivalenceClass, GeneralizedTable
+from .schema import AttributeKind, Schema
+
+
+def describe_interval(schema: Schema, attr_index: int, lo: int, hi: int) -> str:
+    """One attribute interval of a box, as published text.
+
+    Numerical intervals print as ``name=[lo, hi]`` (collapsed to the
+    value when degenerate); categorical intervals print the hierarchy
+    node they correspond to — the actual generalized value.
+    """
+    attr = schema.qi[attr_index]
+    if attr.kind is AttributeKind.NUMERICAL:
+        if lo == hi:
+            return f"{attr.name}={lo}"
+        return f"{attr.name}=[{lo}, {hi}]"
+    node = attr.hierarchy.lca_of_range(lo, hi)
+    return f"{attr.name}={node.label}"
+
+
+def describe_class(schema: Schema, ec: EquivalenceClass) -> str:
+    """One EC as a printable line: box plus its SA multiset."""
+    box = ", ".join(
+        describe_interval(schema, j, lo, hi)
+        for j, (lo, hi) in enumerate(ec.box)
+    )
+    values = [
+        f"{schema.sensitive.values[i]}×{int(c)}"
+        for i, c in enumerate(ec.sa_counts)
+        if c > 0
+    ]
+    return f"[{box}] | {ec.size} tuples: {', '.join(values)}"
+
+
+def show_published(published: GeneralizedTable, limit: int = 10) -> str:
+    """A multi-line rendering of (up to ``limit``) equivalence classes."""
+    lines = [
+        f"{len(published)} equivalence classes over "
+        f"{published.n_rows} tuples"
+    ]
+    for ec in published.classes[:limit]:
+        lines.append("  " + describe_class(published.schema, ec))
+    if len(published) > limit:
+        lines.append(f"  ... and {len(published) - limit} more")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""The paper's running example: the patient records of Table 1.
+
+Six tuples with QI ``{Weight, Age}`` and sensitive attribute ``Disease``
+whose domain hierarchy is Fig. 1 (nervous vs circulatory diseases).  The
+module also builds the 19-tuple table of Example 2, which exercises the
+bucketization and reallocation phases with the exact numbers worked
+through in the paper — both serve as regression fixtures for the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hierarchy import Hierarchy
+from .schema import Attribute, Schema, SensitiveAttribute
+from .table import Table
+
+#: Disease names in Fig. 1 pre-order: nervous first, then circulatory.
+DISEASES = (
+    "headache",
+    "epilepsy",
+    "brain tumors",
+    "anemia",
+    "angina",
+    "heart murmur",
+)
+
+
+def disease_hierarchy() -> Hierarchy:
+    """Fig. 1: nervous and circulatory diseases."""
+    return Hierarchy.from_spec(
+        (
+            "nervous and circulatory diseases",
+            [
+                ("nervous diseases", ["headache", "epilepsy", "brain tumors"]),
+                ("circulatory diseases", ["anemia", "angina", "heart murmur"]),
+            ],
+        )
+    )
+
+
+def patients_schema() -> Schema:
+    """QI = {Weight, Age}; SA = Disease with the Fig. 1 hierarchy."""
+    qi = [
+        Attribute.numerical("Weight", 50, 80),
+        Attribute.numerical("Age", 40, 70),
+    ]
+    sa = SensitiveAttribute("Disease", DISEASES, hierarchy=disease_hierarchy())
+    return Schema(qi, sa)
+
+
+def make_patients() -> Table:
+    """Table 1 of the paper (IDs 01–06, identifying columns dropped)."""
+    schema = patients_schema()
+    weight = [70, 60, 50, 70, 80, 60]
+    age = [40, 60, 50, 50, 50, 70]
+    disease = [
+        "headache",       # 01 Mike
+        "epilepsy",       # 02 John
+        "brain tumors",   # 03 Bob
+        "heart murmur",   # 04 Alice
+        "anemia",         # 05 Beth
+        "angina",         # 06 Carol
+    ]
+    sa = np.array([schema.sensitive.code_of(d) for d in disease])
+    qi = np.column_stack([np.array(weight), np.array(age)])
+    return Table(schema, qi, sa)
+
+
+#: SA counts of the Example 2 table: 2 headache, 3 epilepsy,
+#: 3 brain tumors, 3 anemia, 4 angina, 4 heart murmur (19 tuples).
+EXAMPLE2_COUNTS = {
+    "headache": 2,
+    "epilepsy": 3,
+    "brain tumors": 3,
+    "anemia": 3,
+    "angina": 4,
+    "heart murmur": 4,
+}
+
+
+def make_example2_table(seed: int = 11) -> Table:
+    """The 19-tuple table of Example 2.
+
+    The paper specifies only the SA histogram; QI values are synthesized
+    deterministically on a small grid so generalization has something to
+    do.  The SA histogram is exact, which is all the worked example
+    depends on.
+    """
+    schema = patients_schema()
+    rng = np.random.default_rng(seed)
+    codes: list[int] = []
+    for name, count in EXAMPLE2_COUNTS.items():
+        codes.extend([schema.sensitive.code_of(name)] * count)
+    sa = np.array(codes, dtype=np.int64)
+    n = sa.shape[0]
+    weight = rng.integers(50, 81, size=n)
+    age = rng.integers(40, 71, size=n)
+    return Table(schema, np.column_stack([weight, age]), sa)

@@ -1,0 +1,142 @@
+"""Schema definitions for microdata tables.
+
+A table consists of quasi-identifier (QI) attributes plus one sensitive
+attribute (SA), mirroring the paper's setting (Table 2).  Attributes are
+integer-coded:
+
+* a *numerical* attribute takes values in an inclusive integer domain
+  ``[lo, hi]``;
+* a *categorical* attribute takes leaf ranks of its generalization
+  :class:`~repro.hierarchy.Hierarchy`, i.e. values ``0 .. n_leaves-1``
+  ordered by the pre-order traversal of the hierarchy (Section 4.5).
+
+The sensitive attribute is categorical with an explicit value list; its
+hierarchy (if any) is only used by similarity-attack analyses, never by
+the anonymization algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hierarchy import Hierarchy
+
+
+class AttributeKind(enum.Enum):
+    """Whether a QI attribute is numerical or categorical."""
+
+    NUMERICAL = "numerical"
+    CATEGORICAL = "categorical"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A quasi-identifier attribute.
+
+    Attributes:
+        name: Attribute name, unique within a schema.
+        kind: Numerical or categorical.
+        lo: Smallest domain value (0 for categorical).
+        hi: Largest domain value (``n_leaves - 1`` for categorical).
+        hierarchy: Generalization hierarchy; required iff categorical.
+    """
+
+    name: str
+    kind: AttributeKind
+    lo: int
+    hi: int
+    hierarchy: Hierarchy | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"{self.name}: empty domain [{self.lo}, {self.hi}]")
+        if self.kind is AttributeKind.CATEGORICAL:
+            if self.hierarchy is None:
+                raise ValueError(f"{self.name}: categorical attribute needs a hierarchy")
+            if (self.lo, self.hi) != (0, self.hierarchy.n_leaves - 1):
+                raise ValueError(
+                    f"{self.name}: categorical domain must be leaf ranks "
+                    f"[0, {self.hierarchy.n_leaves - 1}]"
+                )
+        elif self.hierarchy is not None:
+            raise ValueError(f"{self.name}: numerical attribute must not have a hierarchy")
+
+    @classmethod
+    def numerical(cls, name: str, lo: int, hi: int) -> "Attribute":
+        return cls(name, AttributeKind.NUMERICAL, lo, hi)
+
+    @classmethod
+    def categorical(cls, name: str, hierarchy: Hierarchy) -> "Attribute":
+        return cls(name, AttributeKind.CATEGORICAL, 0, hierarchy.n_leaves - 1, hierarchy)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct domain values."""
+        return self.hi - self.lo + 1
+
+    @property
+    def width(self) -> int:
+        """Domain width ``U - L`` used by Eq. 2 (0 for singleton domains)."""
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class SensitiveAttribute:
+    """The sensitive attribute: a named list of values.
+
+    ``values[i]`` is the label of SA value ``v_{i+1}`` in the paper's
+    notation; tables store the integer code ``i``.
+    """
+
+    name: str
+    values: tuple[str, ...]
+    hierarchy: Hierarchy | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.values) < 1:
+            raise ValueError("sensitive attribute needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError("sensitive attribute values must be unique")
+        if self.hierarchy is not None:
+            missing = [v for v in self.values if v not in self.hierarchy.label_to_rank]
+            if missing:
+                raise ValueError(f"SA hierarchy is missing leaves for: {missing}")
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.values)
+
+    def code_of(self, label: str) -> int:
+        return self.values.index(label)
+
+
+class Schema:
+    """QI attributes plus the sensitive attribute of a microdata table."""
+
+    def __init__(self, qi: Sequence[Attribute], sensitive: SensitiveAttribute):
+        if not qi:
+            raise ValueError("at least one QI attribute is required")
+        names = [a.name for a in qi] + [sensitive.name]
+        if len(set(names)) != len(names):
+            raise ValueError("attribute names must be unique")
+        self.qi: tuple[Attribute, ...] = tuple(qi)
+        self.sensitive = sensitive
+        self._index = {a.name: i for i, a in enumerate(self.qi)}
+
+    @property
+    def n_qi(self) -> int:
+        return len(self.qi)
+
+    def qi_index(self, name: str) -> int:
+        """Position of a QI attribute within the QI matrix."""
+        return self._index[name]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to the named QI attributes (same SA)."""
+        return Schema([self.qi[self.qi_index(n)] for n in names], self.sensitive)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        qi = ", ".join(a.name for a in self.qi)
+        return f"Schema(qi=[{qi}], sa={self.sensitive.name!r})"

@@ -1,0 +1,105 @@
+"""The microdata table container.
+
+Pandas is intentionally not a dependency (and is unavailable in the
+reproduction environment); :class:`Table` is a thin, typed column store
+over numpy arrays, carrying exactly what the anonymization algorithms
+need: an integer QI matrix, an integer SA vector, and the schema that
+interprets them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .schema import Schema
+
+
+class Table:
+    """A microdata table: integer-coded QI matrix plus SA vector.
+
+    Attributes:
+        schema: Column metadata.
+        qi: ``(n, d)`` int64 array; column ``j`` holds values of
+            ``schema.qi[j]`` (leaf ranks for categorical attributes).
+        sa: ``(n,)`` int64 array of SA value codes.
+    """
+
+    def __init__(self, schema: Schema, qi: np.ndarray, sa: np.ndarray):
+        qi = np.asarray(qi, dtype=np.int64)
+        sa = np.asarray(sa, dtype=np.int64)
+        if qi.ndim != 2 or qi.shape[1] != schema.n_qi:
+            raise ValueError(
+                f"qi must be (n, {schema.n_qi}), got {qi.shape}"
+            )
+        if sa.shape != (qi.shape[0],):
+            raise ValueError("sa must be a vector matching qi rows")
+        for j, attr in enumerate(schema.qi):
+            col = qi[:, j]
+            if col.size and (col.min() < attr.lo or col.max() > attr.hi):
+                raise ValueError(
+                    f"column {attr.name}: values outside domain "
+                    f"[{attr.lo}, {attr.hi}]"
+                )
+        if sa.size and (sa.min() < 0 or sa.max() >= schema.sensitive.cardinality):
+            raise ValueError("sa codes outside the sensitive domain")
+        self.schema = schema
+        self.qi = qi
+        self.sa = sa
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.qi.shape[0]
+
+    @property
+    def n_rows(self) -> int:
+        return self.qi.shape[0]
+
+    @property
+    def sa_cardinality(self) -> int:
+        return self.schema.sensitive.cardinality
+
+    # ------------------------------------------------------------------
+    # Sensitive-attribute statistics (Table 2 notation)
+    # ------------------------------------------------------------------
+
+    def sa_counts(self) -> np.ndarray:
+        """``N_i``: number of tuples with each SA value, over the domain."""
+        return np.bincount(self.sa, minlength=self.sa_cardinality).astype(np.int64)
+
+    def sa_distribution(self) -> np.ndarray:
+        """``P = (p_1 .. p_m)``: overall SA distribution in the table."""
+        if self.n_rows == 0:
+            raise ValueError("empty table has no SA distribution")
+        return self.sa_counts() / self.n_rows
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def subset(self, rows: np.ndarray) -> "Table":
+        """A new table containing the given row indices (copies)."""
+        rows = np.asarray(rows)
+        return Table(self.schema, self.qi[rows], self.sa[rows])
+
+    def project(self, qi_names: Sequence[str]) -> "Table":
+        """A new table keeping only the named QI attributes (same SA).
+
+        Used by the QI-dimensionality sweeps (Fig. 6, Fig. 8(c)).
+        """
+        idx = [self.schema.qi_index(n) for n in qi_names]
+        return Table(self.schema.project(qi_names), self.qi[:, idx], self.sa)
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Table":
+        """Random sample of ``n`` rows without replacement (Fig. 7 sweeps)."""
+        if n > self.n_rows:
+            raise ValueError(f"cannot sample {n} rows from {self.n_rows}")
+        rows = rng.choice(self.n_rows, size=n, replace=False)
+        return self.subset(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.n_rows} rows, {self.schema!r})"

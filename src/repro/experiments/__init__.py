@@ -1,0 +1,60 @@
+"""One module per table/figure of the paper's evaluation (§6–§7).
+
+Each module exposes ``run(config) -> ExperimentResult | list[...]`` and a
+``python -m repro.experiments.<name>`` CLI.  ``run_all`` executes the
+whole evaluation and returns every result, which ``examples/`` and the
+EXPERIMENTS.md generator consume.
+"""
+
+from __future__ import annotations
+
+from .runner import ExperimentConfig, ExperimentResult, search_monotone
+from . import (
+    definetti_sweep,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    nb_attack,
+    section2,
+    table7,
+)
+
+#: Registry of experiment modules in paper order (section2 and
+#: definetti_sweep quantify arguments the paper makes analytically).
+ALL_EXPERIMENTS = {
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "table7": table7,
+    "nb_attack": nb_attack,
+    "section2": section2,
+    "definetti_sweep": definetti_sweep,
+}
+
+
+def run_all(config: ExperimentConfig | None = None) -> list[ExperimentResult]:
+    """Run every experiment (with each module's own defaults when
+    ``config`` is None) and return the flattened result list."""
+    results: list[ExperimentResult] = []
+    for module in ALL_EXPERIMENTS.values():
+        outcome = module.run(config or module.DEFAULT_CONFIG)
+        if isinstance(outcome, ExperimentResult):
+            results.append(outcome)
+        else:
+            results.extend(outcome)
+    return results
+
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "search_monotone",
+    "ALL_EXPERIMENTS",
+    "run_all",
+]

@@ -1,0 +1,44 @@
+"""CLI: run the whole evaluation and write a markdown report.
+
+Usage::
+
+    python -m repro.experiments [--tuples N] [--output report.md]
+
+Without ``--tuples`` each experiment uses its own default scale (see the
+individual modules); with it, every experiment runs on N tuples.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+
+from . import ALL_EXPERIMENTS
+from .report import generate
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tuples", type=int, default=None)
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--output", type=str, default=None)
+    args = parser.parse_args()
+
+    configs = {}
+    if args.tuples is not None or args.queries is not None:
+        for name, module in ALL_EXPERIMENTS.items():
+            config = module.DEFAULT_CONFIG
+            if args.tuples is not None:
+                config = replace(config, n=args.tuples)
+            if args.queries is not None:
+                config = replace(config, n_queries=args.queries)
+            configs[name] = config
+    text = generate(configs=configs, output=args.output)
+    if args.output is None:
+        print(text)
+    else:
+        print(f"report written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,172 @@
+"""Figure 4: face-to-face comparison of β-likeness with t-closeness.
+
+Three sub-experiments show that t-closeness publishers (tMondrian and
+SABRE) fail to deliver β-likeness even when tuned to the *same* privacy
+level under their own criterion:
+
+* **4(a)** — run BUREL at β ∈ {2..5}; measure the closeness ``t_β`` its
+  output attains; run tMondrian/SABRE at ``t_β``; compare the measured
+  ("real") β of the three outputs.
+* **4(b)** — start from t ∈ {0.05..0.2}: run the t-closeness schemes at
+  ``t``; binary-search the β making BUREL's output at most ``t``-close;
+  compare real β.
+* **4(c)** — equalize *information loss* instead: targets are BUREL's
+  AIL at β ∈ {2..5}; binary-search each t-closeness scheme's ``t`` to
+  match; compare real β.
+
+The paper reports 1–3 orders of magnitude gaps (log-scale y axes); the
+reproduction preserves that separation.
+
+Closeness is measured with the *ordered* ground-distance EMD throughout:
+the CENSUS sensitive attribute (salary class) is ordinal, and Li et al.
+define t-closeness over ordered domains that way — it also matches the
+magnitudes of the paper's reported t values.  SABRE runs in its native
+ordered-EMD mode here so all three schemes spend the same budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..anonymity import sabre, t_mondrian
+from ..core import burel
+from ..metrics import average_information_loss, measured_beta, measured_t
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    add_common_args,
+    config_from_args,
+    search_monotone,
+)
+
+#: The paper's sweep values.
+FIG4A_BETAS = (2.0, 3.0, 4.0, 5.0)
+FIG4B_TS = (0.05, 0.10, 0.15, 0.20)
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+def run_fig4a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Real β at matched t-closeness, sweeping the β given to BUREL."""
+    table = config.table()
+    rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
+    t_values: list[float] = []
+    for beta in FIG4A_BETAS:
+        b = burel(table, beta)
+        t_beta = measured_t(b.published, ordered=True)
+        t_values.append(t_beta)
+        rows["BUREL"].append(measured_beta(b.published))
+        rows["tMondrian"].append(
+            measured_beta(t_mondrian(table, t_beta, ordered=True).published)
+        )
+        rows["SABRE"].append(
+            measured_beta(sabre(table, t_beta, ordered=True).published)
+        )
+    return ExperimentResult(
+        name="fig4a",
+        title="real beta at equal t-closeness (vary beta)",
+        x_label="beta",
+        x_values=list(FIG4A_BETAS),
+        series={"t_beta": t_values, **rows},
+        notes="all three schemes share the same measured t per row",
+    )
+
+
+def run_fig4b(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Real β at matched t-closeness, sweeping the t given to the
+    t-closeness schemes."""
+    table = config.table()
+    rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
+    matched_betas: list[float] = []
+    for t in FIG4B_TS:
+        rows["tMondrian"].append(
+            measured_beta(t_mondrian(table, t, ordered=True).published)
+        )
+        rows["SABRE"].append(
+            measured_beta(sabre(table, t, ordered=True).published)
+        )
+
+        def burel_t(beta: float) -> float:
+            return measured_t(burel(table, beta).published, ordered=True)
+
+        beta_t, _ = search_monotone(
+            burel_t, target=t, lo=0.05, hi=32.0, increasing=True
+        )
+        matched_betas.append(beta_t)
+        rows["BUREL"].append(measured_beta(burel(table, beta_t).published))
+    return ExperimentResult(
+        name="fig4b",
+        title="real beta at equal t-closeness (vary t)",
+        x_label="t",
+        x_values=list(FIG4B_TS),
+        series={"beta_t": matched_betas, **rows},
+        notes="BUREL's beta_t found by binary search so its measured t <= t",
+    )
+
+
+def run_fig4c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Real β at matched information loss.
+
+    AIL targets are BUREL's own AIL at β ∈ {2..5} (guaranteeing
+    feasibility on any dataset, unlike fixed absolute targets); each
+    t-closeness scheme's t is searched to land near the target, and the
+    paper's fairness rule is respected: BUREL's AIL never exceeds the
+    competitors' at the matched point.
+    """
+    table = config.table()
+    rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
+    targets: list[float] = []
+    for beta in FIG4A_BETAS:
+        b = burel(table, beta)
+        target = average_information_loss(b.published)
+        targets.append(target)
+        rows["BUREL"].append(measured_beta(b.published))
+
+        def tm_ail(t: float) -> float:
+            return average_information_loss(
+                t_mondrian(table, t, ordered=True).published
+            )
+
+        def sabre_ail(t: float) -> float:
+            return average_information_loss(
+                sabre(table, t, ordered=True).published
+            )
+
+        t_tm, _ = search_monotone(
+            tm_ail, target=target, lo=0.005, hi=0.9, increasing=False
+        )
+        rows["tMondrian"].append(
+            measured_beta(t_mondrian(table, t_tm, ordered=True).published)
+        )
+        t_sb, _ = search_monotone(
+            sabre_ail, target=target, lo=0.005, hi=0.9, increasing=False
+        )
+        rows["SABRE"].append(
+            measured_beta(sabre(table, t_sb, ordered=True).published)
+        )
+    return ExperimentResult(
+        name="fig4c",
+        title="real beta at equal information loss",
+        x_label="AIL target",
+        x_values=[round(t, 4) for t in targets],
+        series=rows,
+        notes="targets are BUREL's AIL at beta in {2,3,4,5}",
+    )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> list[ExperimentResult]:
+    """All three Fig. 4 panels."""
+    return [run_fig4a(config), run_fig4b(config), run_fig4c(config)]
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_args(parser)
+    config = config_from_args(parser.parse_args(), DEFAULT_CONFIG)
+    for result in run(config):
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,162 @@
+"""Figure 8: query utility of the generalization schemes.
+
+Median relative error of COUNT queries (Section 6.2) over the outputs of
+BUREL, LMondrian and DMondrian, swept along four axes:
+
+* **8(a)** — λ, the number of QI predicates (QI size 5, θ = 0.1, β = 4);
+* **8(b)** — β (λ = 3, θ = 0.1);
+* **8(c)** — QI size (θ = 0.1, λ = min(3, QI size), β = 4);
+* **8(d)** — selectivity θ (λ = 3, β = 4).
+
+Expected shapes: error falls with β and θ, rises with QI size, and is
+non-monotone in λ; BUREL's error is the lowest throughout in the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from ..anonymity import d_mondrian, l_mondrian
+from ..core import burel
+from ..dataset import CENSUS_QI_ORDER
+from ..query import GeneralizedAnswerer, answer_precise, make_workload
+from ..query.answer import median_relative_error
+from .runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    add_common_args,
+    config_from_args,
+)
+
+DEFAULT_CONFIG = ExperimentConfig(qi=CENSUS_QI_ORDER)
+DEFAULT_BETA = 4.0
+DEFAULT_LAMBDA = 3
+DEFAULT_THETA = 0.1
+THETAS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+ALGORITHMS = ("BUREL", "LMondrian", "DMondrian")
+
+
+def _publications(table, beta: float):
+    return {
+        "BUREL": burel(table, beta).published,
+        "LMondrian": l_mondrian(table, beta).published,
+        "DMondrian": d_mondrian(table, beta).published,
+    }
+
+
+def _workload_errors(table, publications, lam, theta, config) -> dict[str, float]:
+    rng = np.random.default_rng(config.query_seed)
+    queries = make_workload(table.schema, config.n_queries, lam, theta, rng)
+    precise = np.array([answer_precise(table, q) for q in queries])
+    errors = {}
+    for name, pub in publications.items():
+        answer = GeneralizedAnswerer(pub)
+        estimates = np.array([answer(q) for q in queries])
+        errors[name] = median_relative_error(precise, estimates)
+    return errors
+
+
+def run_fig8a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Error vs λ at full QI, fixed θ and β."""
+    table = config.table()
+    publications = _publications(table, DEFAULT_BETA)
+    lams = list(range(1, table.schema.n_qi + 1))
+    series = {name: [] for name in ALGORITHMS}
+    for lam in lams:
+        errors = _workload_errors(table, publications, lam, DEFAULT_THETA, config)
+        for name in ALGORITHMS:
+            series[name].append(errors[name])
+    return ExperimentResult(
+        name="fig8a",
+        title=f"median relative error vs lambda (theta={DEFAULT_THETA}, beta={DEFAULT_BETA})",
+        x_label="lambda",
+        x_values=lams,
+        series=series,
+    )
+
+
+def run_fig8b(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Error vs β at fixed λ and θ."""
+    table = config.table()
+    series = {name: [] for name in ALGORITHMS}
+    for beta in config.betas:
+        publications = _publications(table, beta)
+        errors = _workload_errors(
+            table, publications, DEFAULT_LAMBDA, DEFAULT_THETA, config
+        )
+        for name in ALGORITHMS:
+            series[name].append(errors[name])
+    return ExperimentResult(
+        name="fig8b",
+        title=f"median relative error vs beta (lambda={DEFAULT_LAMBDA}, theta={DEFAULT_THETA})",
+        x_label="beta",
+        x_values=list(config.betas),
+        series=series,
+    )
+
+
+def run_fig8c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Error vs QI size at fixed θ and β."""
+    sizes = list(range(1, len(CENSUS_QI_ORDER) + 1))
+    series = {name: [] for name in ALGORITHMS}
+    for size in sizes:
+        table = config.table(qi=CENSUS_QI_ORDER[:size])
+        publications = _publications(table, DEFAULT_BETA)
+        lam = min(DEFAULT_LAMBDA, size)
+        errors = _workload_errors(table, publications, lam, DEFAULT_THETA, config)
+        for name in ALGORITHMS:
+            series[name].append(errors[name])
+    return ExperimentResult(
+        name="fig8c",
+        title=f"median relative error vs QI size (theta={DEFAULT_THETA}, beta={DEFAULT_BETA})",
+        x_label="QI size",
+        x_values=sizes,
+        series=series,
+        notes="lambda = min(3, QI size)",
+    )
+
+
+def run_fig8d(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Error vs selectivity θ at fixed λ and β."""
+    table = config.table()
+    publications = _publications(table, DEFAULT_BETA)
+    series = {name: [] for name in ALGORITHMS}
+    for theta in THETAS:
+        errors = _workload_errors(
+            table, publications, DEFAULT_LAMBDA, theta, config
+        )
+        for name in ALGORITHMS:
+            series[name].append(errors[name])
+    return ExperimentResult(
+        name="fig8d",
+        title=f"median relative error vs theta (lambda={DEFAULT_LAMBDA}, beta={DEFAULT_BETA})",
+        x_label="theta",
+        x_values=list(THETAS),
+        series=series,
+    )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> list[ExperimentResult]:
+    """All four Fig. 8 panels."""
+    return [
+        run_fig8a(config),
+        run_fig8b(config),
+        run_fig8c(config),
+        run_fig8d(config),
+    ]
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_args(parser)
+    config = config_from_args(parser.parse_args(), DEFAULT_CONFIG)
+    for result in run(config):
+        print(result.to_text())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

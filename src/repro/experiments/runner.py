@@ -1,0 +1,189 @@
+"""Shared infrastructure for the paper's experiments.
+
+Every ``figN``/``tableN`` module exposes ``run(config) -> ExperimentResult``;
+this module supplies the configuration record, the result container with
+text/markdown rendering, and the binary searches Fig. 4 needs to match
+privacy or information-loss levels across algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dataset import CENSUS_QI_ORDER, make_census
+from ..dataset.table import Table
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    The defaults are laptop-scale (the paper used 500K tuples; shapes are
+    stable from a few tens of thousands).  Every experiment is
+    deterministic given the config.
+    """
+
+    n: int = 30_000
+    seed: int = 7
+    correlation: float = 0.3
+    qi: tuple[str, ...] = CENSUS_QI_ORDER[:3]
+    n_queries: int = 2_000
+    query_seed: int = 13
+    betas: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+    def table(self, qi: Sequence[str] | None = None, n: int | None = None) -> Table:
+        """The synthetic CENSUS table for this configuration."""
+        return make_census(
+            n=n or self.n,
+            seed=self.seed,
+            correlation=self.correlation,
+            qi_names=tuple(qi) if qi is not None else self.qi,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """One figure/table worth of series.
+
+    Attributes:
+        name: Experiment identifier (e.g. ``"fig5a"``).
+        title: Human-readable description.
+        x_label: Name of the swept parameter.
+        x_values: Sweep points.
+        series: Mapping from curve name to per-point values.
+        notes: Free-text caveats recorded alongside the data.
+    """
+
+    name: str
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list[float]]
+    notes: str = ""
+
+    def to_text(self, precision: int = 4) -> str:
+        """Aligned plain-text table (printed by benches and examples)."""
+        headers = [self.x_label] + list(self.series)
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = [str(x)]
+            for key in self.series:
+                value = self.series[key][i]
+                row.append(_format(value, precision))
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows))
+            for c in range(len(headers))
+        ]
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self, precision: int = 4) -> str:
+        """Markdown table for EXPERIMENTS.md."""
+        headers = [self.x_label] + list(self.series)
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for i, x in enumerate(self.x_values):
+            cells = [str(x)] + [
+                _format(self.series[key][i], precision) for key in self.series
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+def _format(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, float) and (np.isinf(value) or np.isnan(value)):
+        return "inf" if np.isinf(value) else "nan"
+    return f"{value:.{precision}g}"
+
+
+# ----------------------------------------------------------------------
+# Binary searches used by Fig. 4
+# ----------------------------------------------------------------------
+
+
+def search_monotone(
+    fn: Callable[[float], float],
+    target: float,
+    lo: float,
+    hi: float,
+    increasing: bool,
+    iterations: int = 14,
+) -> tuple[float, float]:
+    """Find ``x`` with ``fn(x)`` as close to ``target`` as possible.
+
+    ``fn`` is assumed monotone (possibly noisily so — the search keeps
+    the best point seen rather than trusting the final bracket).
+
+    Args:
+        fn: The measured quantity as a function of the parameter.
+        target: Desired value of ``fn``.
+        lo/hi: Parameter bracket.
+        increasing: Direction of monotonicity.
+        iterations: Bisection steps.
+
+    Returns:
+        ``(best_x, fn(best_x))`` with the smallest ``|fn(x) - target|``.
+    """
+    best_x, best_y, best_gap = lo, fn(lo), float("inf")
+    for x, y in ((lo, best_y), (hi, fn(hi))):
+        gap = abs(y - target)
+        if gap < best_gap:
+            best_x, best_y, best_gap = x, y, gap
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        y = fn(mid)
+        gap = abs(y - target)
+        if gap < best_gap:
+            best_x, best_y, best_gap = mid, y, gap
+        too_high = y > target
+        if too_high == increasing:
+            hi = mid
+        else:
+            lo = mid
+    return best_x, best_y
+
+
+def add_common_args(parser: argparse.ArgumentParser) -> None:
+    """CLI flags shared by the ``python -m repro.experiments.figN`` entry
+    points."""
+    parser.add_argument("--tuples", type=int, default=None, help="table size")
+    parser.add_argument("--seed", type=int, default=None, help="data seed")
+    parser.add_argument(
+        "--correlation", type=float, default=None, help="QI-SA correlation"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None, help="workload size"
+    )
+
+
+def config_from_args(
+    args: argparse.Namespace, base: ExperimentConfig
+) -> ExperimentConfig:
+    """Apply CLI overrides onto an experiment's default config."""
+    overrides = {}
+    if args.tuples is not None:
+        overrides["n"] = args.tuples
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.correlation is not None:
+        overrides["correlation"] = args.correlation
+    if args.queries is not None:
+        overrides["n_queries"] = args.queries
+    return replace(base, **overrides) if overrides else base

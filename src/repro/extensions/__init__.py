@@ -1,0 +1,32 @@
+"""Extensions the paper sketches in §3 and §7, implemented.
+
+* Two-sided β-likeness (negative-gain control, §3/§7).
+* Semantic-group β-likeness over SA hierarchies (§7).
+* (β, w)-proximity-likeness for ordinal SA domains (§7 future work).
+"""
+
+from .two_sided import (
+    TwoSidedBetaLikeness,
+    measured_negative_beta,
+    two_sided_constraint,
+)
+from .grouped import SAGrouping, grouped_burel, measured_group_beta
+from .proximity import (
+    measured_proximity_beta,
+    p_mondrian,
+    proximity_caps,
+    proximity_constraint,
+)
+
+__all__ = [
+    "TwoSidedBetaLikeness",
+    "measured_negative_beta",
+    "two_sided_constraint",
+    "SAGrouping",
+    "grouped_burel",
+    "measured_group_beta",
+    "measured_proximity_beta",
+    "p_mondrian",
+    "proximity_caps",
+    "proximity_constraint",
+]

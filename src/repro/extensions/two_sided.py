@@ -1,0 +1,142 @@
+"""Two-sided β-likeness: bounding negative information gain as well.
+
+Section 3 of the paper deliberately constrains only *positive* gain —
+an adversary learning that a value is **more** likely — and argues that
+negative gain "can be treated symmetrically if circumstances demand
+it"; Section 7 adds that bounding negative divergences would further
+harden the model against deFinetti-style attacks.  This module supplies
+that extension:
+
+* :class:`TwoSidedBetaLikeness` — an EC complies iff every value
+  satisfies ``q_i <= f(p_i)`` (the paper's bound) **and**
+  ``q_i >= g(p_i) = p_i / (1 + min{β⁻, -ln p_i})`` — the mirrored
+  threshold, which like ``f`` tempers the requirement for frequent
+  values and (unlike δ-disclosure-privacy) never demands more presence
+  than a value's own frequency supports.
+* :func:`two_sided_constraint` — the matching Mondrian plug-in, giving
+  a concrete anonymization algorithm for the extended model.
+
+The asymmetric special case ``negative_beta=None`` reduces exactly to
+the paper's model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..anonymity.constraints import ECConstraint
+from ..core.model import TOLERANCE, BetaLikeness
+
+
+@dataclass(frozen=True)
+class TwoSidedBetaLikeness:
+    """β-likeness with a symmetric cap on negative gain.
+
+    Attributes:
+        beta: Bound on positive relative gain (the paper's β).
+        negative_beta: Bound on negative relative gain; ``None`` means
+            unconstrained (the paper's one-sided model).
+        enhanced: Use the enhanced thresholds (Definition 3 style).
+    """
+
+    beta: float
+    negative_beta: float | None = None
+    enhanced: bool = True
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+        if self.negative_beta is not None and self.negative_beta <= 0:
+            raise ValueError("negative_beta must be positive when given")
+
+    @property
+    def positive_model(self) -> BetaLikeness:
+        return BetaLikeness(self.beta, enhanced=self.enhanced)
+
+    def upper(self, p):
+        """The paper's ``f(p)`` cap on in-EC frequency."""
+        return self.positive_model.threshold(p)
+
+    def lower(self, p):
+        """The mirrored floor ``g(p) = p / (1 + min{β⁻, -ln p})``.
+
+        ``g`` is 0 when negative gain is unconstrained, tends to 0 with
+        ``p`` (rare values may be absent unless β⁻ is very small — the
+        flexibility §3 credits β-likeness with), and for frequent values
+        relaxes via ``-ln p`` exactly as ``f`` does.
+        """
+        p = np.asarray(p, dtype=float)
+        if self.negative_beta is None:
+            out = np.zeros_like(p)
+            return out if out.ndim else float(out)
+        if np.any(p < 0) or np.any(p > 1):
+            raise ValueError("frequencies must lie in [0, 1]")
+        if not self.enhanced:
+            out = p / (1.0 + self.negative_beta)
+            return out if out.ndim else float(out)
+        with np.errstate(divide="ignore"):
+            neg_log = np.where(p > 0, -np.log(np.where(p > 0, p, 1.0)), np.inf)
+        out = p / (1.0 + np.minimum(self.negative_beta, neg_log))
+        return out if out.ndim else float(out)
+
+    def complies(self, global_p: np.ndarray, ec_q: np.ndarray) -> bool:
+        """Does an EC distribution satisfy both bounds?"""
+        global_p = np.asarray(global_p, dtype=float)
+        ec_q = np.asarray(ec_q, dtype=float)
+        if global_p.shape != ec_q.shape:
+            raise ValueError("P and Q must cover the same SA domain")
+        upper = np.asarray(self.upper(global_p), dtype=float)
+        lower = np.asarray(self.lower(global_p), dtype=float)
+        return bool(
+            np.all(ec_q <= upper + TOLERANCE)
+            and np.all(ec_q >= lower - TOLERANCE)
+        )
+
+    def max_negative_gain(self, global_p: np.ndarray, ec_q: np.ndarray) -> float:
+        """Measured negative-side β: ``max (p_i - q_i)/p_i`` over losers."""
+        global_p = np.asarray(global_p, dtype=float)
+        ec_q = np.asarray(ec_q, dtype=float)
+        losses = global_p - ec_q
+        mask = (losses > TOLERANCE) & (global_p > TOLERANCE)
+        if not mask.any():
+            return 0.0
+        return float(np.max(losses[mask] / global_p[mask]))
+
+
+def two_sided_constraint(
+    global_p: np.ndarray,
+    beta: float,
+    negative_beta: float,
+    enhanced: bool = True,
+) -> ECConstraint:
+    """Mondrian plug-in enforcing two-sided β-likeness."""
+    model = TwoSidedBetaLikeness(beta, negative_beta, enhanced=enhanced)
+    global_p = np.asarray(global_p, dtype=float)
+    upper = np.asarray(model.upper(global_p), dtype=float)
+    lower = np.asarray(model.lower(global_p), dtype=float)
+
+    def ok(counts: np.ndarray, size: int) -> bool:
+        if size == 0:
+            return False
+        q = counts / size
+        return bool(
+            np.all(q <= upper + TOLERANCE) and np.all(q >= lower - TOLERANCE)
+        )
+
+    return ECConstraint(
+        f"two-sided ({beta}, {negative_beta})-likeness", ok
+    )
+
+
+def measured_negative_beta(published) -> float:
+    """Worst-case negative relative gain over a publication's ECs."""
+    model = TwoSidedBetaLikeness(beta=1.0, negative_beta=1.0)
+    p = published.global_distribution()
+    return float(
+        max(
+            model.max_negative_gain(p, ec.sa_distribution())
+            for ec in published
+        )
+    )

@@ -1,0 +1,77 @@
+"""Helpers for constructing common hierarchy shapes.
+
+The synthetic CENSUS dataset (Table 3 of the paper) needs categorical
+hierarchies of specific heights: gender (height 1), marital status
+(height 2) and work class (height 3).  These builders create balanced
+hierarchies of a requested height over an arbitrary list of leaf labels,
+so tests and datasets can produce structurally faithful attribute trees.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .tree import Hierarchy, Node
+
+
+def balanced_hierarchy(
+    labels: Sequence[str],
+    height: int,
+    root_label: str = "*",
+    fanout: int | None = None,
+) -> Hierarchy:
+    """Build a balanced hierarchy of exactly ``height`` levels.
+
+    ``height`` is the number of edges from the root to each leaf.  With
+    ``height=1`` this is :meth:`Hierarchy.flat`.  For larger heights the
+    leaves are grouped into near-equal chunks, recursively, producing
+    internal levels whose node labels encode their coverage (useful when
+    debugging generalized outputs).
+
+    Args:
+        labels: Leaf labels, in the order they should appear on the axis.
+        height: Tree height (>= 1).
+        root_label: Label for the root node.
+        fanout: Desired children per internal node at each grouping level.
+            Defaults to a value that spreads leaves evenly.
+
+    Raises:
+        ValueError: If ``height < 1`` or there are fewer leaves than
+            needed to realize the height.
+    """
+    if height < 1:
+        raise ValueError("height must be >= 1")
+    if len(labels) < 1:
+        raise ValueError("at least one leaf is required")
+
+    leaves = [Node(str(v)) for v in labels]
+    level_nodes = leaves
+    # Build (height - 1) grouping levels above the leaves.
+    for level in range(height - 1, 0, -1):
+        group_fanout = fanout or max(2, round(len(level_nodes) ** (1.0 / (level + 1))))
+        groups = _chunk(level_nodes, group_fanout)
+        if len(groups) == len(level_nodes):
+            # Grouping had no effect (one node per group); force pairs so
+            # the height is realized rather than silently flattened.
+            groups = _chunk(level_nodes, 2)
+        level_nodes = [
+            Node(f"{root_label}.{level}.{i}", children=group)
+            for i, group in enumerate(groups)
+        ]
+    return Hierarchy(Node(root_label, level_nodes))
+
+
+def _chunk(nodes: list[Node], fanout: int) -> list[list[Node]]:
+    """Split ``nodes`` into consecutive chunks of up to ``fanout`` items."""
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    n_groups = max(1, (len(nodes) + fanout - 1) // fanout)
+    # Spread the remainder so group sizes differ by at most one.
+    base, extra = divmod(len(nodes), n_groups)
+    groups: list[list[Node]] = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(nodes[start : start + size])
+        start += size
+    return [g for g in groups if g]

@@ -1,0 +1,17 @@
+"""d-dimensional Hilbert space-filling curve (vectorized)."""
+
+from .curve import (
+    hilbert_decode,
+    hilbert_encode,
+    hilbert_sort_key,
+    required_bits,
+    scaled_hilbert_key,
+)
+
+__all__ = [
+    "hilbert_encode",
+    "hilbert_decode",
+    "hilbert_sort_key",
+    "required_bits",
+    "scaled_hilbert_key",
+]

@@ -1,0 +1,168 @@
+"""Serialization of publications to interchange formats.
+
+A data publisher needs artifacts, not Python objects.  This module
+writes the three publication formats to CSV (the microdata itself, in
+the exact shape a recipient would receive) and JSON (the side
+information each scheme publishes along with the data):
+
+* a **generalized** table exports one row per tuple with generalized QI
+  values (interval strings / hierarchy node labels) and the verbatim SA
+  value — the classic anonymized-microdata release;
+* a **perturbed** table exports exact QI values with randomized SA
+  values, plus a JSON sidecar holding the transition matrix ``PM`` and
+  the overall SA distribution (Section 5 prescribes publishing both);
+* a generic reader recovers the row streams for downstream tooling.
+
+CSV writing uses the standard library's ``csv`` module; no dependency
+beyond numpy is introduced.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .core.perturb import PerturbedTable
+from .dataset.display import describe_interval
+from .dataset.published import GeneralizedTable
+
+
+def generalized_to_rows(published: GeneralizedTable) -> list[dict[str, str]]:
+    """One dict per tuple: generalized QI strings + leaf SA label."""
+    schema = published.schema
+    rows: list[dict[str, str]] = []
+    for ec_id, ec in enumerate(published):
+        qi_cells = {
+            schema.qi[j].name: describe_interval(schema, j, lo, hi).split("=", 1)[1]
+            for j, (lo, hi) in enumerate(ec.box)
+        }
+        for row in ec.rows:
+            record = {"ec": str(ec_id), **qi_cells}
+            record[schema.sensitive.name] = schema.sensitive.values[
+                int(published.source.sa[row])
+            ]
+            rows.append(record)
+    return rows
+
+
+def write_generalized_csv(published: GeneralizedTable, path: str | Path) -> None:
+    """Write a generalized publication as CSV (one line per tuple)."""
+    rows = generalized_to_rows(published)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_perturbed_csv(
+    published: PerturbedTable, path: str | Path, sidecar: str | Path | None = None
+) -> None:
+    """Write a perturbed publication as CSV plus its JSON sidecar.
+
+    Args:
+        published: The perturbation output.
+        path: CSV destination (exact QIs, randomized SA).
+        sidecar: JSON destination for ``PM`` and the overall SA
+            distribution; defaults to ``path`` with a ``.json`` suffix.
+    """
+    schema = published.schema
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        names = [attr.name for attr in schema.qi] + [schema.sensitive.name]
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(published.n_rows):
+            cells = [str(int(v)) for v in published.qi[i]]
+            cells.append(schema.sensitive.values[int(published.sa_perturbed[i])])
+            writer.writerow(cells)
+    sidecar = Path(sidecar) if sidecar is not None else path.with_suffix(".json")
+    scheme = published.scheme
+    payload = {
+        "sensitive_attribute": schema.sensitive.name,
+        "domain": [
+            schema.sensitive.values[int(code)] for code in scheme.domain
+        ],
+        "overall_distribution": scheme.probs.tolist(),
+        "transition_matrix": scheme.matrix.tolist(),
+        "alphas": scheme.alphas.tolist(),
+    }
+    sidecar.write_text(json.dumps(payload, indent=2))
+
+
+def read_perturbation_sidecar(path: str | Path) -> dict:
+    """Load a perturbation sidecar; arrays come back as numpy."""
+    payload = json.loads(Path(path).read_text())
+    payload["overall_distribution"] = np.asarray(payload["overall_distribution"])
+    payload["transition_matrix"] = np.asarray(payload["transition_matrix"])
+    payload["alphas"] = np.asarray(payload["alphas"])
+    return payload
+
+
+def read_csv_rows(path: str | Path) -> list[dict[str, str]]:
+    """Read any CSV written by this module back into dict rows."""
+    with Path(path).open(newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def load_csv_table(
+    path: str | Path,
+    qi_names: list[str],
+    sensitive_name: str,
+    numerical: list[str] | None = None,
+):
+    """Load raw microdata from a CSV file into a :class:`Table`.
+
+    Args:
+        path: CSV with a header row.
+        qi_names: Columns forming the quasi-identifier, in order.
+        sensitive_name: The sensitive column.
+        numerical: QI columns to parse as integers; the rest become
+            categorical attributes under flat (height-1) hierarchies
+            built from their observed values, sorted for determinism.
+
+    Returns:
+        A :class:`repro.dataset.table.Table`.  Intended for the CLI and
+        for users bringing their own data; hierarchical categorical
+        attributes should be constructed programmatically instead.
+    """
+    from .dataset.schema import Attribute, Schema, SensitiveAttribute
+    from .dataset.table import Table
+    from .hierarchy import Hierarchy
+
+    numerical = set(numerical or [])
+    rows = read_csv_rows(path)
+    if not rows:
+        raise ValueError(f"{path}: empty file")
+    missing = [c for c in qi_names + [sensitive_name] if c not in rows[0]]
+    if missing:
+        raise ValueError(f"{path}: missing columns {missing}")
+
+    attributes = []
+    columns: list[np.ndarray] = []
+    for name in qi_names:
+        raw = [row[name] for row in rows]
+        if name in numerical:
+            values = np.array([int(v) for v in raw], dtype=np.int64)
+            attributes.append(
+                Attribute.numerical(name, int(values.min()), int(values.max()))
+            )
+            columns.append(values)
+        else:
+            labels = sorted(set(raw))
+            hierarchy = Hierarchy.flat(labels, root_label=f"any-{name}")
+            rank = {label: hierarchy.rank_of(label) for label in labels}
+            attributes.append(Attribute.categorical(name, hierarchy))
+            columns.append(np.array([rank[v] for v in raw], dtype=np.int64))
+
+    sa_labels = tuple(sorted(set(row[sensitive_name] for row in rows)))
+    sensitive = SensitiveAttribute(sensitive_name, sa_labels)
+    sa = np.array(
+        [sensitive.code_of(row[sensitive_name]) for row in rows],
+        dtype=np.int64,
+    )
+    schema = Schema(attributes, sensitive)
+    return Table(schema, np.column_stack(columns), sa)

@@ -1,0 +1,73 @@
+"""Distribution distances, information-loss and privacy measurement."""
+
+from .distributions import (
+    emd_equal,
+    emd_ordered,
+    js_divergence,
+    kl_divergence,
+    max_abs_log_ratio,
+    max_relative_gain,
+)
+from .loss import (
+    average_class_size,
+    average_information_loss,
+    discernibility,
+    il_attribute,
+    il_class,
+)
+from .utility import (
+    ErrorProfile,
+    error_profile,
+    global_certainty_penalty,
+    normalized_certainty_penalty,
+    reconstruction_tv_error,
+)
+from .risk import (
+    RiskProfile,
+    attribute_disclosure_risks,
+    reidentification_risks,
+    risk_profile,
+)
+from .privacy import (
+    PrivacyProfile,
+    average_beta,
+    average_l,
+    average_t,
+    measured_beta,
+    measured_delta,
+    measured_l,
+    measured_t,
+    privacy_profile,
+)
+
+__all__ = [
+    "emd_equal",
+    "emd_ordered",
+    "js_divergence",
+    "kl_divergence",
+    "max_abs_log_ratio",
+    "max_relative_gain",
+    "average_class_size",
+    "average_information_loss",
+    "discernibility",
+    "il_attribute",
+    "il_class",
+    "ErrorProfile",
+    "error_profile",
+    "global_certainty_penalty",
+    "normalized_certainty_penalty",
+    "reconstruction_tv_error",
+    "RiskProfile",
+    "attribute_disclosure_risks",
+    "reidentification_risks",
+    "risk_profile",
+    "PrivacyProfile",
+    "average_beta",
+    "average_l",
+    "average_t",
+    "measured_beta",
+    "measured_delta",
+    "measured_l",
+    "measured_t",
+    "privacy_profile",
+]

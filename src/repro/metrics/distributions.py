@@ -1,0 +1,106 @@
+"""Distances between sensitive-attribute distributions.
+
+Section 2 of the paper argues that cumulative distances (EMD, KL, JS)
+fail to bound per-value relative confidence gain; this module implements
+those distances so the argument — and the Fig. 4 / §7 measurements — can
+be reproduced quantitatively.
+
+Conventions:
+
+* Distributions are 1-D numpy arrays over the same SA domain, summing to
+  one (a tolerance of 1e-9 is accepted).
+* ``kl_divergence(P, Q)`` is ``D_KL(P || Q)`` in **bits** (log base 2),
+  matching the numeric examples in §2 of the paper (e.g.
+  ``KL((0.01,0.99) || (0.03,0.97)) = 0.0133``).
+* ``emd_equal`` is the Earth Mover's Distance under the equal ground
+  distance (every pair of distinct values at distance 1), which equals
+  total variation distance: ``sum_i max(q_i - p_i, 0)``.
+* ``emd_ordered`` is the EMD under the ordered/numerical ground distance
+  normalized by the domain span, as defined for t-closeness by Li et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def _validate(p: np.ndarray, q: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape or p.ndim != 1:
+        raise ValueError("distributions must be 1-D arrays over the same domain")
+    for name, dist in (("p", p), ("q", q)):
+        if dist.min(initial=0.0) < -_EPS:
+            raise ValueError(f"{name} has negative entries")
+        if abs(dist.sum() - 1.0) > 1e-9:
+            raise ValueError(f"{name} does not sum to 1 (sum={dist.sum()})")
+    return p, q
+
+
+def emd_equal(p: np.ndarray, q: np.ndarray) -> float:
+    """EMD under the equal ground distance (= total variation distance)."""
+    p, q = _validate(p, q)
+    return float(np.maximum(q - p, 0.0).sum())
+
+
+def emd_ordered(p: np.ndarray, q: np.ndarray) -> float:
+    """EMD under the ordered ground distance, normalized to [0, 1].
+
+    For an ordered domain of ``m`` values with unit spacing the minimal
+    transport cost is ``sum_i |cumsum(p - q)_i| / (m - 1)``.
+    """
+    p, q = _validate(p, q)
+    m = p.shape[0]
+    if m == 1:
+        return 0.0
+    prefix = np.cumsum(p - q)[:-1]
+    return float(np.abs(prefix).sum() / (m - 1))
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``D_KL(P || Q)`` in bits; ``inf`` when P puts mass where Q has none."""
+    p, q = _validate(p, q)
+    mask = p > _EPS
+    if np.any(q[mask] <= _EPS):
+        return float("inf")
+    return float(np.sum(p[mask] * np.log2(p[mask] / q[mask])))
+
+
+def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen–Shannon divergence in bits (always finite, in [0, 1])."""
+    p, q = _validate(p, q)
+    mid = 0.5 * (p + q)
+    return 0.5 * kl_divergence(p, mid) + 0.5 * kl_divergence(q, mid)
+
+
+def max_relative_gain(p: np.ndarray, q: np.ndarray) -> float:
+    """The paper's measured β: largest positive relative frequency gain.
+
+    ``max over i with q_i > p_i of (q_i - p_i) / p_i`` (Definition 2's
+    distance, maximized over the domain).  Returns 0 when no value gains,
+    and ``inf`` when some value with ``p_i = 0`` appears in ``q``.
+    """
+    p, q = _validate(p, q)
+    gains = q - p
+    positive = gains > _EPS
+    if not positive.any():
+        return 0.0
+    if np.any(p[positive] <= _EPS):
+        return float("inf")
+    return float(np.max(gains[positive] / p[positive]))
+
+
+def max_abs_log_ratio(p: np.ndarray, q: np.ndarray) -> float:
+    """The measured δ of δ-disclosure-privacy: ``max_i |ln(q_i / p_i)|``.
+
+    Defined only over values present in ``p``; following Brickell &
+    Shmatikov the ratio is infinite when such a value is absent from
+    ``q`` (the model demands every SA value occur in every EC).
+    """
+    p, q = _validate(p, q)
+    mask = p > _EPS
+    if np.any(q[mask] <= _EPS):
+        return float("inf")
+    return float(np.max(np.abs(np.log(q[mask] / p[mask]))))

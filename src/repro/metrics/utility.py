@@ -1,0 +1,98 @@
+"""Additional utility measures beyond the paper's AIL (Eq. 5).
+
+The anonymization literature the paper builds on uses several
+query-independent utility metrics; having them side by side makes
+cross-paper comparisons possible and gives the ablation benches more
+than one lens:
+
+* **NCP / GCP** (Xu et al., Ghinita et al. [12]): the Normalized
+  Certainty Penalty of an EC is exactly the paper's per-class loss
+  ``IL(G)`` (Eq. 4) scaled by the class size; the Global Certainty
+  Penalty is its table-level normalization — numerically identical to
+  AIL with equal weights, provided here under its conventional name and
+  generalized to weighted attributes.
+* **Query-error profile**: summary statistics of a workload's relative
+  errors (the paper reports medians; quartiles expose the tail).
+* **Distribution reconstruction error**: for perturbed publications,
+  the total-variation distance between the true SA histogram and the
+  ``PM⁻¹`` reconstruction — the §5 utility currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.perturb import PerturbedTable
+from ..dataset.published import GeneralizedTable
+from .loss import il_class
+
+
+def global_certainty_penalty(published: GeneralizedTable) -> float:
+    """GCP: size-weighted NCP over the table, normalized to [0, 1]."""
+    total = sum(
+        ec.size * il_class(published.schema, ec) for ec in published
+    )
+    return float(total / published.n_rows)
+
+
+def normalized_certainty_penalty(published: GeneralizedTable) -> np.ndarray:
+    """Per-class NCP values (Eq. 4 of the paper, one per EC)."""
+    return np.array([il_class(published.schema, ec) for ec in published])
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Summary of a workload's relative errors."""
+
+    median: float
+    mean: float
+    p25: float
+    p75: float
+    p95: float
+    n_queries: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"median={self.median:.3%} mean={self.mean:.3%} "
+            f"IQR=[{self.p25:.3%}, {self.p75:.3%}] p95={self.p95:.3%} "
+            f"({self.n_queries} queries)"
+        )
+
+
+def error_profile(
+    precise: np.ndarray, estimates: np.ndarray
+) -> ErrorProfile:
+    """Quartile summary of ``|est - prec| / prec`` (zero-prec dropped)."""
+    precise = np.asarray(precise, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    keep = precise > 0
+    if not keep.any():
+        raise ValueError("every query had a zero precise answer")
+    errors = np.abs(estimates[keep] - precise[keep]) / precise[keep]
+    return ErrorProfile(
+        median=float(np.median(errors)),
+        mean=float(errors.mean()),
+        p25=float(np.percentile(errors, 25)),
+        p75=float(np.percentile(errors, 75)),
+        p95=float(np.percentile(errors, 95)),
+        n_queries=int(errors.size),
+    )
+
+
+def reconstruction_tv_error(published: PerturbedTable) -> float:
+    """Total-variation distance between the true SA distribution and the
+    distribution reconstructed from the perturbed table."""
+    table = published.source
+    observed = np.bincount(
+        published.sa_perturbed, minlength=table.sa_cardinality
+    )
+    reconstructed = published.scheme.reconstruct(observed)
+    reconstructed = np.maximum(reconstructed, 0.0)
+    total = reconstructed.sum()
+    if total <= 0:
+        return 1.0
+    reconstructed /= total
+    true = table.sa_distribution()
+    return float(0.5 * np.abs(reconstructed - true).sum())

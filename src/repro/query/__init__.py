@@ -1,0 +1,49 @@
+"""COUNT-query workloads and estimators over published data."""
+
+from .workload import (
+    CountQuery,
+    answer_precise,
+    make_query,
+    make_workload,
+    qi_mask,
+)
+from .variance import (
+    confidence_interval,
+    estimator_variance,
+    estimator_variance_bound,
+    range_weights,
+)
+from .answer import (
+    AnatomyAnswerer,
+    BaselineAnswerer,
+    GeneralizedAnswerer,
+    PerturbedAnswerer,
+    answer_baseline,
+    answer_generalized,
+    answer_perturbed,
+    median_relative_error,
+    relative_errors,
+    workload_error,
+)
+
+__all__ = [
+    "CountQuery",
+    "answer_precise",
+    "make_query",
+    "make_workload",
+    "qi_mask",
+    "AnatomyAnswerer",
+    "BaselineAnswerer",
+    "GeneralizedAnswerer",
+    "PerturbedAnswerer",
+    "answer_baseline",
+    "answer_generalized",
+    "answer_perturbed",
+    "median_relative_error",
+    "relative_errors",
+    "confidence_interval",
+    "estimator_variance",
+    "estimator_variance_bound",
+    "range_weights",
+    "workload_error",
+]

@@ -1,0 +1,113 @@
+"""COUNT-query workloads (Sections 5 and 6 of the paper).
+
+Utility is evaluated with aggregation queries of the form::
+
+    SELECT COUNT(*) FROM Anonymized-data
+    WHERE pred(A_1) AND ... AND pred(A_λ) AND pred(SA)
+
+Each predicate is a range ``A ∈ R_A``.  For an expected selectivity
+``θ`` under a uniformity assumption, every one of the ``λ + 1``
+predicates selects an interval of length ``|A| · θ^{1/(λ+1)}`` placed
+uniformly at random inside the attribute's domain (§6.2).  The λ QI
+attributes of each query are drawn at random from the table's QI set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.schema import Schema
+from ..dataset.table import Table
+
+
+@dataclass(frozen=True)
+class CountQuery:
+    """One COUNT query: QI range predicates plus an SA range predicate.
+
+    Attributes:
+        qi_ranges: Mapping from QI attribute index to an inclusive
+            ``(lo, hi)`` interval in domain coordinates.
+        sa_range: Inclusive ``(lo, hi)`` interval of SA value codes.
+    """
+
+    qi_ranges: tuple[tuple[int, tuple[int, int]], ...]
+    sa_range: tuple[int, int]
+
+    @property
+    def n_qi_predicates(self) -> int:
+        return len(self.qi_ranges)
+
+
+def _random_interval(
+    lo: int, hi: int, fraction: float, rng: np.random.Generator
+) -> tuple[int, int]:
+    """A random inclusive interval covering ``fraction`` of ``[lo, hi]``."""
+    domain = hi - lo + 1
+    length = max(1, int(round(domain * fraction)))
+    length = min(length, domain)
+    start = lo + int(rng.integers(0, domain - length + 1))
+    return start, start + length - 1
+
+
+def make_query(
+    schema: Schema,
+    lam: int,
+    theta: float,
+    rng: np.random.Generator,
+    qi_dims: list[int] | None = None,
+) -> CountQuery:
+    """Generate one random COUNT query.
+
+    Args:
+        schema: The table's schema (supplies domains).
+        lam: Number of QI attributes carrying predicates (``λ``).
+        theta: Expected selectivity ``θ`` in (0, 1).
+        rng: Randomness source.
+        qi_dims: Optional fixed choice of QI attribute indices; defaults
+            to a fresh random sample of size ``lam`` per query.
+    """
+    if not 0 < theta < 1:
+        raise ValueError("theta must be in (0, 1)")
+    if not 1 <= lam <= schema.n_qi:
+        raise ValueError(f"lambda must be in [1, {schema.n_qi}]")
+    fraction = theta ** (1.0 / (lam + 1))
+    if qi_dims is None:
+        qi_dims = sorted(rng.choice(schema.n_qi, size=lam, replace=False).tolist())
+    ranges = tuple(
+        (dim, _random_interval(schema.qi[dim].lo, schema.qi[dim].hi, fraction, rng))
+        for dim in qi_dims
+    )
+    m = schema.sensitive.cardinality
+    sa_range = _random_interval(0, m - 1, fraction, rng)
+    return CountQuery(qi_ranges=ranges, sa_range=sa_range)
+
+
+def make_workload(
+    schema: Schema,
+    n_queries: int,
+    lam: int,
+    theta: float,
+    rng: np.random.Generator | None = None,
+) -> list[CountQuery]:
+    """A workload of i.i.d. random COUNT queries (paper default: 10 000)."""
+    rng = rng or np.random.default_rng(0)
+    return [make_query(schema, lam, theta, rng) for _ in range(n_queries)]
+
+
+def qi_mask(table: Table, query: CountQuery) -> np.ndarray:
+    """Boolean mask of rows satisfying the query's QI predicates."""
+    mask = np.ones(table.n_rows, dtype=bool)
+    for dim, (lo, hi) in query.qi_ranges:
+        column = table.qi[:, dim]
+        mask &= (column >= lo) & (column <= hi)
+    return mask
+
+
+def answer_precise(table: Table, query: CountQuery) -> int:
+    """The exact answer ``prec`` computed on the original microdata."""
+    mask = qi_mask(table, query)
+    lo, hi = query.sa_range
+    mask &= (table.sa >= lo) & (table.sa <= hi)
+    return int(mask.sum())

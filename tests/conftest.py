@@ -1,0 +1,43 @@
+"""Shared fixtures: the paper's toy tables and small synthetic CENSUS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    DEFAULT_QI,
+    make_census,
+    make_example2_table,
+    make_patients,
+)
+
+
+@pytest.fixture(scope="session")
+def patients():
+    """Table 1 of the paper (6 patient records)."""
+    return make_patients()
+
+
+@pytest.fixture(scope="session")
+def example2():
+    """The 19-tuple table of Example 2 (exact SA histogram)."""
+    return make_example2_table()
+
+
+@pytest.fixture(scope="session")
+def census_small():
+    """10K-tuple CENSUS with the paper's default 3-attribute QI."""
+    return make_census(10_000, seed=7, qi_names=DEFAULT_QI)
+
+
+@pytest.fixture(scope="session")
+def census_full_qi():
+    """10K-tuple CENSUS with all five QI attributes."""
+    return make_census(10_000, seed=7)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

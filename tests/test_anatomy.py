@@ -1,0 +1,62 @@
+"""Tests for Anatomy grouping and the §6.3 Baseline publication."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import BaselinePublication, anatomize, anatomy
+
+
+class TestAnatomize:
+    def test_groups_cover_table(self, census_small):
+        at = anatomize(census_small, 4)
+        rows = np.concatenate([g.rows for g in at.groups])
+        assert len(np.unique(rows)) == census_small.n_rows
+
+    def test_groups_are_l_diverse(self, census_small):
+        l = 5
+        at = anatomize(census_small, l)
+        for g in at.groups:
+            assert int(np.count_nonzero(g.sa_counts)) >= l
+
+    def test_group_sizes_at_least_l(self, census_small):
+        at = anatomize(census_small, 4)
+        assert min(g.size for g in at.groups) >= 4
+
+    def test_eligibility_enforced(self, patients):
+        # patients has 6 values each at 1/6; l=7 is infeasible.
+        with pytest.raises(ValueError, match="eligible"):
+            anatomize(patients, 7)
+
+    def test_invalid_l(self, census_small):
+        with pytest.raises(ValueError):
+            anatomize(census_small, 1)
+
+    def test_deterministic_given_rng(self, census_small):
+        a = anatomize(census_small, 3, rng=np.random.default_rng(0))
+        b = anatomize(census_small, 3, rng=np.random.default_rng(0))
+        assert len(a.groups) == len(b.groups)
+        assert np.array_equal(a.groups[0].rows, b.groups[0].rows)
+
+    def test_patients_l2(self, patients):
+        at = anatomize(patients, 2)
+        assert at.n_rows == 6
+        for g in at.groups:
+            assert g.sa_distribution().sum() == pytest.approx(1.0)
+
+    def test_timed_wrapper(self, census_small):
+        result = anatomy(census_small, 3)
+        assert result.elapsed_seconds > 0
+        assert len(result.published) > 0
+
+
+class TestBaseline:
+    def test_exposes_source_qi(self, census_small):
+        bl = BaselinePublication(census_small)
+        assert bl.qi is census_small.qi
+        assert bl.n_rows == census_small.n_rows
+
+    def test_global_distribution(self, census_small):
+        bl = BaselinePublication(census_small)
+        assert np.allclose(
+            bl.global_distribution(), census_small.sa_distribution()
+        )

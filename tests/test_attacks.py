@@ -1,0 +1,119 @@
+"""Tests for the Section 7 attacks."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import anatomize
+from repro.attacks import (
+    definetti_attack,
+    hierarchy_groups,
+    naive_bayes_attack,
+    naive_bayes_attack_raw,
+    random_assignment_baseline,
+    salary_bands,
+    similarity_gain,
+    skewness_gain,
+)
+from repro.core import BetaLikeness, burel
+from repro.dataset import make_census, publish
+
+
+class TestNaiveBayes:
+    def test_attack_on_burel_near_baseline(self, census_small):
+        """§7's finding: accuracy stays close to the most frequent SA
+        value's share (4.84%)."""
+        pub = burel(census_small, 4.0).published
+        result = naive_bayes_attack(pub)
+        assert result.accuracy <= result.majority_baseline + 0.02
+
+    def test_raw_attack_beats_anonymized(self):
+        """With strong QI-SA dependence the raw classifier must do
+        better than the one trained on BUREL's output."""
+        table = make_census(10_000, seed=7, correlation=0.9,
+                            qi_names=("Age", "Gender", "Education"))
+        raw = naive_bayes_attack_raw(table)
+        anon = naive_bayes_attack(burel(table, 3.0).published)
+        assert raw.accuracy > anon.accuracy
+
+    def test_predictions_shape(self, census_small):
+        pub = burel(census_small, 3.0).published
+        result = naive_bayes_attack(pub)
+        assert result.predictions.shape == (census_small.n_rows,)
+        assert result.predictions.min() >= 0
+        assert result.predictions.max() < 50
+
+    def test_majority_baseline_value(self, census_small):
+        result = naive_bayes_attack_raw(census_small)
+        assert result.majority_baseline == pytest.approx(
+            census_small.sa_distribution().max()
+        )
+
+
+class TestDeFinetti:
+    def test_beats_random_assignment_on_anatomy(self):
+        table = make_census(5_000, seed=3, correlation=0.9,
+                            qi_names=("Age", "Gender", "Education"))
+        at = anatomize(table, 3, rng=np.random.default_rng(0))
+        attack = definetti_attack(at, max_iterations=8)
+        baseline = random_assignment_baseline(at)
+        assert attack.accuracy >= baseline.accuracy
+
+    def test_burel_output_resists(self, census_small):
+        """On β-bounded ECs the attack collapses towards the baseline."""
+        pub = burel(census_small, 2.0).published
+        attack = definetti_attack(pub, max_iterations=6)
+        assert attack.accuracy < 0.15
+
+    def test_result_fields(self, census_small):
+        pub = burel(census_small, 3.0).published
+        attack = definetti_attack(pub, max_iterations=3)
+        assert attack.iterations <= 3
+        assert attack.predictions.shape == (census_small.n_rows,)
+
+    def test_unsupported_publication_type(self):
+        with pytest.raises(TypeError):
+            definetti_attack(object())
+
+
+class TestSkewness:
+    def test_gain_bounded_by_model(self, census_small):
+        """On BUREL output the worst q/p ratio is at most 1 + the cap's
+        relative slack — i.e. gain - 1 <= β against each value's f."""
+        beta = 2.0
+        pub = burel(census_small, beta).published
+        report = skewness_gain(pub)
+        p = pub.global_distribution()
+        model = BetaLikeness(beta)
+        cap = model.threshold(p[report.value_index])
+        assert report.max_gain * p[report.value_index] <= cap + 1e-9
+
+    def test_skewed_publication_detected(self, patients):
+        gt = publish(patients, [np.array([0, 1, 2]), np.array([3, 4, 5])])
+        report = skewness_gain(gt)
+        assert report.max_gain == pytest.approx(2.0)  # 1/3 over 1/6
+
+    def test_similarity_attack_on_semantic_groups(self, patients):
+        """The paper's §2 similarity example: all-nervous EC doubles the
+        nervous-disease confidence."""
+        gt = publish(patients, [np.array([0, 1, 2]), np.array([3, 4, 5])])
+        groups = hierarchy_groups(gt, depth=1)
+        report = similarity_gain(gt, groups)
+        assert report.max_gain == pytest.approx(2.0)
+
+    def test_hierarchy_groups_fallback(self, census_small):
+        pub = burel(census_small, 3.0).published
+        groups = hierarchy_groups(pub)
+        assert len(groups) == 50  # no SA hierarchy -> singletons
+
+    def test_salary_bands(self):
+        bands = salary_bands(50, 10)
+        assert len(bands) == 5
+        assert bands[0] == list(range(10))
+        assert bands[-1] == list(range(40, 50))
+
+    def test_similarity_bounded_on_burel(self, census_small):
+        pub = burel(census_small, 2.0).published
+        report = similarity_gain(pub, salary_bands())
+        # Group gain is bounded by the max per-value gain.
+        per_value = skewness_gain(pub)
+        assert report.max_gain <= per_value.max_gain + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for DPpartition (§4.3) and the greedy ablation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BetaLikeness, dp_partition, greedy_partition
+
+
+class TestExample2:
+    """The bucketization worked through in the paper's Example 2."""
+
+    def test_paper_buckets(self, example2):
+        model = BetaLikeness(2.0)
+        part = dp_partition(example2.sa_distribution(), model)
+        buckets = [sorted(int(v) for v in b) for b in part.buckets]
+        # {headache, epilepsy}, {brain tumors, anemia}, {angina, heart murmur}
+        assert buckets == [[0, 1], [2, 3], [4, 5]]
+
+    def test_bucket_weights(self, example2):
+        model = BetaLikeness(2.0)
+        part = dp_partition(example2.sa_distribution(), model)
+        assert np.allclose(sorted(part.weights), [5 / 19, 6 / 19, 8 / 19])
+
+    def test_lemma2_condition_holds(self, example2):
+        model = BetaLikeness(2.0)
+        part = dp_partition(example2.sa_distribution(), model)
+        assert (part.weights <= part.f_min + 1e-12).all()
+
+
+class TestDpPartition:
+    def test_every_value_in_exactly_one_bucket(self, census_small):
+        model = BetaLikeness(3.0)
+        part = dp_partition(census_small.sa_distribution(), model)
+        seen = np.concatenate(part.buckets)
+        assert sorted(seen.tolist()) == list(range(50))
+
+    def test_weights_sum_to_one(self, census_small):
+        model = BetaLikeness(3.0)
+        part = dp_partition(census_small.sa_distribution(), model)
+        assert part.weights.sum() == pytest.approx(1.0)
+
+    def test_zero_frequency_values_excluded(self):
+        model = BetaLikeness(2.0)
+        probs = np.array([0.5, 0.0, 0.5])
+        part = dp_partition(probs, model)
+        seen = np.concatenate(part.buckets).tolist()
+        assert 1 not in seen
+
+    def test_single_value_domain(self):
+        model = BetaLikeness(2.0)
+        part = dp_partition(np.array([1.0]), model)
+        assert len(part) == 1
+
+    def test_empty_domain_rejected(self):
+        model = BetaLikeness(2.0)
+        with pytest.raises(ValueError):
+            dp_partition(np.zeros(3), model)
+
+    def test_margin_zero_reproduces_paper_condition(self, example2):
+        """Lemma 2's strict inequality: sum p < f(p_min) per bucket."""
+        model = BetaLikeness(2.0)
+        part = dp_partition(example2.sa_distribution(), model, margin=0.0)
+        caps = np.asarray(model.threshold(part.min_freq), dtype=float)
+        assert (part.weights < caps).all()
+
+    def test_margin_shrinks_buckets(self, census_small):
+        model = BetaLikeness(4.0)
+        loose = dp_partition(census_small.sa_distribution(), model, margin=0.0)
+        tight = dp_partition(census_small.sa_distribution(), model, margin=0.5)
+        assert len(tight) >= len(loose)
+        caps = np.asarray(model.threshold(tight.min_freq), dtype=float)
+        assert (tight.weights <= 0.5 * caps + 1e-12).all()
+
+    def test_invalid_margin(self, census_small):
+        model = BetaLikeness(2.0)
+        with pytest.raises(ValueError):
+            dp_partition(census_small.sa_distribution(), model, margin=1.0)
+
+    def test_minimality_vs_greedy(self, census_small):
+        """The DP never uses more buckets than greedy first-fit."""
+        model = BetaLikeness(3.0)
+        probs = census_small.sa_distribution()
+        assert len(dp_partition(probs, model)) <= len(
+            greedy_partition(probs, model)
+        )
+
+    def test_bucket_of_value_map(self, example2):
+        model = BetaLikeness(2.0)
+        part = dp_partition(example2.sa_distribution(), model)
+        mapping = part.bucket_of_value()
+        assert mapping[0] == mapping[1]
+        assert mapping[0] != mapping[2]
+        assert len(mapping) == 6
+
+
+class TestGreedyPartition:
+    def test_covers_domain(self, census_small):
+        model = BetaLikeness(3.0)
+        part = greedy_partition(census_small.sa_distribution(), model)
+        seen = np.concatenate(part.buckets)
+        assert sorted(seen.tolist()) == list(range(50))
+
+    def test_lemma2_condition_holds(self, census_small):
+        model = BetaLikeness(3.0)
+        part = greedy_partition(census_small.sa_distribution(), model)
+        assert (part.weights < part.f_min + 1e-12).all()
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_dp_partition_satisfies_lemma2_property(data):
+    """Every bucket the DP produces obeys Lemma 2 for any distribution."""
+    m = data.draw(st.integers(min_value=1, max_value=12))
+    raw = data.draw(st.lists(st.integers(1, 100), min_size=m, max_size=m))
+    probs = np.array(raw, dtype=float) / np.sum(raw)
+    beta = data.draw(st.floats(min_value=0.2, max_value=8.0))
+    model = BetaLikeness(beta)
+    part = dp_partition(probs, model)
+    # Coverage and Lemma 2.
+    seen = sorted(np.concatenate(part.buckets).tolist())
+    assert seen == list(range(m))
+    for bucket, weight in zip(part.buckets, part.weights):
+        p_min = probs[bucket].min()
+        cap = float(np.asarray(model.threshold(p_min)))
+        assert weight <= cap + 1e-9 or len(bucket) == 1

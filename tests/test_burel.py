@@ -1,0 +1,113 @@
+"""End-to-end tests for BUREL (§4.5): the β-likeness guarantee."""
+
+import numpy as np
+import pytest
+
+from repro.core import BetaLikeness, burel
+from repro.metrics import measured_beta
+from repro.dataset import make_census
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("beta", [0.5, 1.0, 2.0, 4.0])
+    def test_output_satisfies_enhanced_beta_likeness(self, census_small, beta):
+        result = burel(census_small, beta)
+        model = BetaLikeness(beta)
+        p = result.published.global_distribution()
+        for ec in result.published:
+            assert model.complies(p, ec.sa_distribution()), (
+                f"EC violates {beta}-likeness"
+            )
+
+    def test_basic_model_guarantee(self, census_small):
+        result = burel(census_small, 2.0, enhanced=False)
+        model = BetaLikeness(2.0, enhanced=False)
+        p = result.published.global_distribution()
+        for ec in result.published:
+            assert model.complies(p, ec.sa_distribution())
+
+    def test_measured_beta_below_threshold(self, census_small):
+        for beta in (1.0, 3.0):
+            result = burel(census_small, beta)
+            assert measured_beta(result.published) <= beta + 1e-9
+
+    def test_paper_verbatim_configuration(self, census_small):
+        """margin=0, naive split, no separation — the paper's pipeline —
+        still guarantees β-likeness."""
+        result = burel(
+            census_small,
+            2.0,
+            margin=0.0,
+            balanced_split=False,
+            separate=False,
+        )
+        assert measured_beta(result.published) <= 2.0 + 1e-9
+
+    def test_toy_table(self, example2):
+        result = burel(example2, 2.0, margin=0.0)
+        assert measured_beta(result.published) <= 2.0 + 1e-9
+        assert result.published.n_rows == 19
+
+
+class TestStructure:
+    def test_classes_partition_table(self, census_small):
+        result = burel(census_small, 3.0)
+        rows = np.concatenate([ec.rows for ec in result.published])
+        assert len(np.unique(rows)) == census_small.n_rows
+
+    def test_specs_match_classes(self, census_small):
+        result = burel(census_small, 3.0)
+        assert len(result.specs) == len(result.published)
+
+    def test_elapsed_recorded(self, census_small):
+        result = burel(census_small, 3.0)
+        assert result.elapsed_seconds > 0
+
+    def test_empty_table_rejected(self, census_small):
+        empty = census_small.subset(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            burel(empty, 2.0)
+
+    def test_unknown_options_rejected(self, census_small):
+        with pytest.raises(ValueError):
+            burel(census_small, 2.0, bucketizer="nope")
+        with pytest.raises(ValueError):
+            burel(census_small, 2.0, retriever="nope")
+
+
+class TestVariants:
+    def test_greedy_bucketizer(self, census_small):
+        result = burel(census_small, 3.0, bucketizer="greedy")
+        assert measured_beta(result.published) <= 3.0 + 1e-9
+
+    def test_random_retriever(self, census_small):
+        result = burel(
+            census_small, 3.0, retriever="random",
+            rng=np.random.default_rng(0),
+        )
+        assert measured_beta(result.published) <= 3.0 + 1e-9
+
+    def test_seeded_hilbert_retrieval(self, census_small):
+        result = burel(census_small, 3.0, rng=np.random.default_rng(11))
+        assert measured_beta(result.published) <= 3.0 + 1e-9
+
+    def test_utility_improves_with_beta(self):
+        """AIL at β=5 must be below AIL at β=1 (Fig. 5(a) end points)."""
+        from repro.metrics import average_information_loss
+        from repro.dataset import DEFAULT_QI
+
+        table = make_census(20_000, seed=7, qi_names=DEFAULT_QI)
+        loose = burel(table, 5.0)
+        tight = burel(table, 1.0)
+        assert average_information_loss(
+            loose.published
+        ) < average_information_loss(tight.published)
+
+    def test_rare_value_never_overexposed(self, census_small):
+        """The rarest salary class stays within its cap in every EC."""
+        result = burel(census_small, 2.0)
+        p = result.published.global_distribution()
+        rare = int(np.argmin(np.where(p > 0, p, np.inf)))
+        cap = BetaLikeness(2.0).threshold(p[rare])
+        for ec in result.published:
+            assert ec.sa_distribution()[rare] <= cap + 1e-9

@@ -1,0 +1,125 @@
+"""Tests for the synthetic CENSUS generator (Table 3 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import census_schema, make_census, salary_distribution
+from repro.dataset.census import (
+    LEAST_FREQUENT,
+    LEAST_FREQUENT_CODE,
+    MOST_FREQUENT,
+    MOST_FREQUENT_CODE,
+    N_SALARY_CLASSES,
+    exact_sa_counts,
+)
+
+
+class TestSchema:
+    def test_table3_cardinalities(self):
+        schema = census_schema()
+        cards = {a.name: a.cardinality for a in schema.qi}
+        assert cards == {
+            "Age": 79,
+            "Gender": 2,
+            "Education": 17,
+            "Marital": 6,
+            "WorkClass": 10,
+        }
+        assert schema.sensitive.cardinality == 50
+
+    def test_table3_hierarchy_heights(self):
+        schema = census_schema()
+        heights = {
+            a.name: a.hierarchy.height
+            for a in schema.qi
+            if a.hierarchy is not None
+        }
+        assert heights == {"Gender": 1, "Marital": 2, "WorkClass": 3}
+
+
+class TestSalaryDistribution:
+    def test_sums_to_one(self):
+        p = np.asarray(salary_distribution())
+        assert p.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_paper_extremes(self):
+        p = np.asarray(salary_distribution())
+        assert p.min() == pytest.approx(LEAST_FREQUENT, rel=1e-6)
+        assert p.max() == pytest.approx(MOST_FREQUENT, rel=1e-6)
+
+    def test_extreme_codes_match_paper(self):
+        p = np.asarray(salary_distribution())
+        assert int(p.argmax()) == MOST_FREQUENT_CODE == 12
+        assert int(p.argmin()) == LEAST_FREQUENT_CODE == 49
+
+    def test_all_positive(self):
+        p = np.asarray(salary_distribution())
+        assert (p > 0).all()
+
+    def test_unimodal_around_peak(self):
+        p = np.asarray(salary_distribution())
+        left = p[: MOST_FREQUENT_CODE + 1]
+        assert (np.diff(left) >= -1e-15).all()  # rising into the peak
+
+
+class TestExactCounts:
+    def test_counts_sum_to_n(self):
+        p = np.asarray(salary_distribution())
+        counts = exact_sa_counts(7919, p)  # prime total
+        assert counts.sum() == 7919
+
+    def test_every_value_present(self):
+        p = np.asarray(salary_distribution())
+        counts = exact_sa_counts(200, p)
+        assert (counts >= 1).all()
+
+    def test_too_few_tuples_rejected(self):
+        p = np.asarray(salary_distribution())
+        with pytest.raises(ValueError):
+            exact_sa_counts(10, p)
+
+
+class TestGenerator:
+    def test_determinism(self):
+        a = make_census(2000, seed=3)
+        b = make_census(2000, seed=3)
+        assert np.array_equal(a.qi, b.qi)
+        assert np.array_equal(a.sa, b.sa)
+
+    def test_seed_changes_output(self):
+        a = make_census(2000, seed=3)
+        b = make_census(2000, seed=4)
+        assert not np.array_equal(a.qi, b.qi)
+
+    def test_sa_frequencies_exact(self):
+        t = make_census(10_000, seed=1)
+        p = np.asarray(salary_distribution())
+        expected = exact_sa_counts(10_000, p)
+        assert np.array_equal(t.sa_counts(), expected)
+
+    def test_projection(self):
+        t = make_census(1000, seed=1, qi_names=("Age", "Education"))
+        assert [a.name for a in t.schema.qi] == ["Age", "Education"]
+
+    def test_domains_respected(self):
+        t = make_census(5000, seed=2)
+        for j, attr in enumerate(t.schema.qi):
+            col = t.qi[:, j]
+            assert col.min() >= attr.lo and col.max() <= attr.hi
+
+    def test_correlation_shifts_education(self):
+        dependent = make_census(20_000, seed=5, correlation=1.0)
+        independent = make_census(20_000, seed=5, correlation=0.0)
+
+        def edu_gap(t):
+            edu = t.qi[:, t.schema.qi_index("Education")]
+            high = edu[t.sa >= 40].mean()
+            low = edu[t.sa <= 9].mean()
+            return high - low
+
+        assert edu_gap(dependent) > 3.0
+        assert abs(edu_gap(independent)) < 0.5
+
+    def test_invalid_correlation(self):
+        with pytest.raises(ValueError):
+            make_census(1000, correlation=1.5)

@@ -1,0 +1,105 @@
+"""Tests for the extended constraint library (ℓ-diversity variants,
+KL/JS closeness) and the §2 quantification they enable."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import (
+    entropy_l_diversity,
+    js_closeness,
+    kl_closeness,
+    mondrian,
+    recursive_cl_diversity,
+)
+from repro.metrics import js_divergence, kl_divergence
+
+
+class TestEntropyLDiversity:
+    def test_uniform_distribution_passes(self):
+        c = entropy_l_diversity(4)
+        assert c(np.array([5, 5, 5, 5]), 20)
+
+    def test_skewed_distribution_fails(self):
+        c = entropy_l_diversity(4)
+        assert not c(np.array([17, 1, 1, 1]), 20)
+
+    def test_needs_at_least_l_values(self):
+        c = entropy_l_diversity(4)
+        # Entropy of 3 values can never reach ln(4).
+        assert not c(np.array([7, 7, 6, 0]), 20)
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            entropy_l_diversity(0)
+
+    def test_entropy_stricter_than_distinct(self, census_small):
+        from repro.anonymity import distinct_l_diversity
+        from repro.metrics import average_information_loss
+
+        distinct = mondrian(census_small, distinct_l_diversity(8))
+        entropy = mondrian(census_small, entropy_l_diversity(8))
+        assert average_information_loss(
+            entropy.published
+        ) >= average_information_loss(distinct.published) - 1e-9
+
+
+class TestRecursiveClDiversity:
+    def test_balanced_passes(self):
+        c = recursive_cl_diversity(2.0, 3)
+        # r1=5 < 2*(r3+r4) = 2*7
+        assert c(np.array([5, 4, 4, 3]), 16)
+
+    def test_dominated_fails(self):
+        c = recursive_cl_diversity(2.0, 3)
+        # r1=14 >= 2*(r3) = 2*1... counts sorted desc: 14,4,1,1 -> tail from l=3: 1+1=2
+        assert not c(np.array([14, 4, 1, 1]), 20)
+
+    def test_too_few_values_fails(self):
+        c = recursive_cl_diversity(2.0, 3)
+        assert not c(np.array([5, 5, 0, 0]), 10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            recursive_cl_diversity(0.0, 3)
+        with pytest.raises(ValueError):
+            recursive_cl_diversity(1.0, 1)
+
+
+class TestDivergenceCloseness:
+    def test_kl_budget_enforced(self, census_small):
+        budget = 0.1
+        result = mondrian(census_small, kl_closeness(
+            census_small.sa_distribution(), budget))
+        p = census_small.sa_distribution()
+        for ec in result.published:
+            q = ec.sa_distribution()
+            mask = q > 0
+            kl = float(np.sum(q[mask] * np.log2(q[mask] / p[mask])))
+            assert kl <= budget + 1e-9
+
+    def test_js_budget_enforced(self, census_small):
+        budget = 0.05
+        result = mondrian(census_small, js_closeness(
+            census_small.sa_distribution(), budget))
+        p = census_small.sa_distribution()
+        for ec in result.published:
+            assert js_divergence(p, ec.sa_distribution()) <= budget + 1e-9
+
+    def test_invalid_budgets(self, census_small):
+        p = census_small.sa_distribution()
+        with pytest.raises(ValueError):
+            kl_closeness(p, 0.0)
+        with pytest.raises(ValueError):
+            js_closeness(p, -0.1)
+
+    def test_section2_inversion_on_data(self, census_small):
+        """§2's KL example holds for EC predicates too: the constraint
+        accepts a distribution whose rare-value confidence explodes."""
+        p = np.zeros(50)
+        p[0], p[1] = 0.01, 0.99
+        c = kl_closeness(p, 0.02)
+        # q = (0.03, 0.97): KL = 0.0133 bits <= 0.02, but the rare value
+        # tripled (beta = 2).
+        counts = np.zeros(50, dtype=np.int64)
+        counts[0], counts[1] = 3, 97
+        assert c(counts, 100)

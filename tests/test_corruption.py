@@ -1,0 +1,79 @@
+"""Tests for the corruption and composition attack demonstrations."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import composition_attack, corruption_attack
+from repro.core import burel
+from repro.dataset import publish
+
+
+class TestCorruption:
+    def test_no_corruption_is_baseline(self, census_small):
+        published = burel(census_small, 2.0).published
+        report = corruption_attack(published, 0)
+        assert report.corrupted_confidence == pytest.approx(
+            report.baseline_confidence
+        )
+        assert report.exposed_tuples == 0
+
+    def test_corruption_sharpens_posterior(self, census_small):
+        published = burel(census_small, 2.0).published
+        rng = np.random.default_rng(1)
+        report = corruption_attack(
+            published, census_small.n_rows // 2, rng=rng
+        )
+        assert report.corrupted_confidence >= report.baseline_confidence
+
+    def test_full_corruption_of_small_class(self, patients):
+        # Two ECs of 3; knowing 2 of 3 in a class of distinct values
+        # leaves the third pinned.
+        published = publish(
+            patients, [np.arange(3), np.arange(3, 6)]
+        )
+        report = corruption_attack(
+            published, 5, rng=np.random.default_rng(0)
+        )
+        assert report.exposed_tuples >= 1
+        assert report.corrupted_confidence == 1.0
+
+    def test_out_of_range_rejected(self, census_small):
+        published = burel(census_small, 2.0).published
+        with pytest.raises(ValueError):
+            corruption_attack(published, census_small.n_rows + 1)
+
+
+class TestComposition:
+    def test_two_identical_publications_leak_nothing_extra(self, census_small):
+        published = burel(census_small, 2.0).published
+        report = composition_attack(published, published)
+        assert report.composed_confidence <= (
+            report.single_confidence + 1e-9
+        )
+
+    def test_independent_publications_compose(self, census_small):
+        """Two different β-like partitions of the same table intersect
+        to sharper posteriors — the reason the paper assumes a single
+        release."""
+        first = burel(census_small, 2.0).published
+        second = burel(
+            census_small, 2.0, rng=np.random.default_rng(99)
+        ).published
+        report = composition_attack(first, second)
+        assert report.composed_confidence >= report.single_confidence - 1e-9
+
+    def test_different_sources_rejected(self, census_small, census_full_qi):
+        first = burel(census_small, 2.0).published
+        second = burel(census_full_qi, 2.0).published
+        with pytest.raises(ValueError):
+            composition_attack(first, second)
+
+    def test_toy_pinning(self, patients):
+        """Crossing partitions pin values: EC {0,1} ∩ EC {1,2} = {1}."""
+        first = publish(patients, [np.array([0, 1]), np.array([2, 3]),
+                                   np.array([4, 5])])
+        second = publish(patients, [np.array([1, 2]), np.array([3, 4]),
+                                    np.array([5, 0])])
+        report = composition_attack(first, second)
+        assert report.pinned_tuples == patients.n_rows
+        assert report.composed_confidence == 1.0

@@ -1,0 +1,145 @@
+"""Tests for distribution distances, pinned to the paper's §2 numbers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    emd_equal,
+    emd_ordered,
+    js_divergence,
+    kl_divergence,
+    max_abs_log_ratio,
+    max_relative_gain,
+)
+
+
+class TestPaperSection2Examples:
+    """The running HIV/Flu examples of Section 2, digit for digit."""
+
+    def test_emd_both_cases_equal_0_1(self):
+        # P=(0.4,0.6) vs Q=(0.5,0.5) and P'=(0.01,0.99) vs Q'=(0.11,0.89)
+        assert emd_equal(np.array([0.4, 0.6]), np.array([0.5, 0.5])) == (
+            pytest.approx(0.1)
+        )
+        assert emd_equal(np.array([0.01, 0.99]), np.array([0.11, 0.89])) == (
+            pytest.approx(0.1)
+        )
+
+    def test_relative_gain_differs_wildly(self):
+        # ... but the relative HIV gain is 25% vs 1000%.
+        g1 = max_relative_gain(np.array([0.4, 0.6]), np.array([0.5, 0.5]))
+        g2 = max_relative_gain(np.array([0.01, 0.99]), np.array([0.11, 0.89]))
+        assert g1 == pytest.approx(0.25)
+        assert g2 == pytest.approx(10.0)
+
+    def test_kl_divergence_paper_values(self):
+        # "the K-L (J-S) divergence between P and Q, is 0.0290 (0.0073)"
+        p, q = np.array([0.4, 0.6]), np.array([0.5, 0.5])
+        assert kl_divergence(p, q) == pytest.approx(0.029, abs=5e-4)
+        # "while that between P~ and Q~ is 0.0133 (0.0038)"
+        pt, qt = np.array([0.01, 0.99]), np.array([0.03, 0.97])
+        assert kl_divergence(pt, qt) == pytest.approx(0.0133, abs=5e-4)
+
+    def test_js_divergence_paper_values(self):
+        p, q = np.array([0.4, 0.6]), np.array([0.5, 0.5])
+        assert js_divergence(p, q) == pytest.approx(0.0073, abs=5e-4)
+        pt, qt = np.array([0.01, 0.99]), np.array([0.03, 0.97])
+        assert js_divergence(pt, qt) == pytest.approx(0.0038, abs=5e-4)
+
+    def test_paper_inversion_argument(self):
+        """KL/JS rank the 200%-gain case as MORE private than the
+        25%-gain case — the paper's §2 criticism."""
+        p, q = np.array([0.4, 0.6]), np.array([0.5, 0.5])
+        pt, qt = np.array([0.01, 0.99]), np.array([0.03, 0.97])
+        assert kl_divergence(pt, qt) < kl_divergence(p, q)
+        assert max_relative_gain(pt, qt) > max_relative_gain(p, q)
+
+
+class TestEmdEqual:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert emd_equal(p, p) == 0.0
+
+    def test_symmetry(self):
+        p = np.array([0.2, 0.8])
+        q = np.array([0.6, 0.4])
+        assert emd_equal(p, q) == pytest.approx(emd_equal(q, p))
+
+    def test_maximum_is_one(self):
+        assert emd_equal(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == (
+            pytest.approx(1.0)
+        )
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            emd_equal(np.array([0.5, 0.6]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            emd_equal(np.array([0.5, 0.5]), np.array([0.5, -0.5]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            emd_equal(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestEmdOrdered:
+    def test_adjacent_move_is_cheap(self):
+        # Moving 0.1 one step in a 3-value domain costs 0.1/2.
+        p = np.array([0.5, 0.5, 0.0])
+        q = np.array([0.4, 0.6, 0.0])
+        assert emd_ordered(p, q) == pytest.approx(0.05)
+
+    def test_full_span_move_costs_full_mass(self):
+        p = np.array([1.0, 0.0, 0.0])
+        q = np.array([0.0, 0.0, 1.0])
+        assert emd_ordered(p, q) == pytest.approx(1.0)
+
+    def test_ordered_never_exceeds_equal(self, rng):
+        for _ in range(50):
+            p = rng.dirichlet(np.ones(10))
+            q = rng.dirichlet(np.ones(10))
+            assert emd_ordered(p, q) <= emd_equal(p, q) + 1e-12
+
+    def test_single_value_domain(self):
+        assert emd_ordered(np.array([1.0]), np.array([1.0])) == 0.0
+
+
+class TestGainMeasures:
+    def test_no_gain_returns_zero(self):
+        p = np.array([0.5, 0.5])
+        assert max_relative_gain(p, p) == 0.0
+
+    def test_new_value_is_infinite_gain(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert max_relative_gain(p, q) == float("inf")
+
+    def test_log_ratio_infinite_on_missing_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        assert max_abs_log_ratio(p, q) == float("inf")
+
+    def test_log_ratio_symmetric_bounds(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        assert max_abs_log_ratio(p, q) == pytest.approx(np.log(2))
+
+
+@given(st.data())
+@settings(max_examples=80, deadline=None)
+def test_divergences_nonnegative_property(data):
+    m = data.draw(st.integers(min_value=2, max_value=8))
+    raw_p = data.draw(
+        st.lists(st.floats(0.01, 1.0), min_size=m, max_size=m)
+    )
+    raw_q = data.draw(
+        st.lists(st.floats(0.01, 1.0), min_size=m, max_size=m)
+    )
+    p = np.array(raw_p) / np.sum(raw_p)
+    q = np.array(raw_q) / np.sum(raw_q)
+    assert emd_equal(p, q) >= 0
+    assert emd_ordered(p, q) >= 0
+    assert kl_divergence(p, q) >= -1e-12
+    assert 0 <= js_divergence(p, q) <= 1 + 1e-12
+    assert max_relative_gain(p, q) >= 0

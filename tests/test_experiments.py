@@ -1,0 +1,144 @@
+"""Smoke and shape tests for the experiment harness (small configs)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import CENSUS_QI_ORDER
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentConfig,
+    ExperimentResult,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    nb_attack,
+    search_monotone,
+    table7,
+)
+
+SMALL = ExperimentConfig(n=4_000, n_queries=120)
+SMALL_QUERY = ExperimentConfig(
+    n=4_000, n_queries=120, qi=CENSUS_QI_ORDER
+)
+
+
+class TestRunner:
+    def test_config_table_respects_qi(self):
+        table = SMALL.table(qi=("Age", "Gender"))
+        assert [a.name for a in table.schema.qi] == ["Age", "Gender"]
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            name="x",
+            title="t",
+            x_label="beta",
+            x_values=[1, 2],
+            series={"a": [0.5, None], "b": [float("inf"), 3]},
+            notes="n",
+        )
+        text = result.to_text()
+        assert "beta" in text and "inf" in text and "-" in text
+        md = result.to_markdown()
+        assert md.count("|") > 6
+
+    def test_search_monotone_increasing(self):
+        x, y = search_monotone(lambda v: v * v, target=9.0, lo=0.0, hi=10.0,
+                               increasing=True)
+        assert x == pytest.approx(3.0, abs=0.01)
+
+    def test_search_monotone_decreasing(self):
+        x, y = search_monotone(lambda v: 1.0 / v, target=0.5, lo=0.1, hi=10.0,
+                               increasing=False)
+        assert x == pytest.approx(2.0, abs=0.05)
+
+
+class TestShapes:
+    def test_fig5_burel_ail_decreases(self):
+        results = fig5.run(SMALL)
+        ail = results[0].series["BUREL"]
+        assert ail[-1] < ail[0]
+
+    def test_fig5_returns_two_panels(self):
+        results = fig5.run(SMALL)
+        assert [r.name for r in results] == ["fig5a", "fig5b"]
+
+    def test_fig6_ail_grows_with_qi(self):
+        results = fig6.run(SMALL)
+        ail = results[0].series["BUREL"]
+        assert ail[-1] > ail[0]
+
+    def test_fig7_runs_all_sizes(self):
+        cfg = ExperimentConfig(n=5_000)
+        results = fig7.run(cfg)
+        assert results[0].x_values == [1000, 2000, 3000, 4000, 5000]
+
+    def test_table7_columns(self):
+        result = table7.run(SMALL)
+        assert set(result.series) == {"t", "Avg t", "l", "Avg l"}
+        assert all(v >= 1 for v in result.series["l"])
+
+    def test_nb_attack_near_baseline(self):
+        result = nb_attack.run(SMALL)
+        for acc, base in zip(
+            result.series["NB on BUREL"], result.series["majority baseline"]
+        ):
+            assert acc <= base + 0.05
+
+    def test_fig4a_burel_beats_tmondrian(self):
+        result = fig4.run_fig4a(SMALL)
+        burel_betas = np.array(result.series["BUREL"])
+        tm_betas = np.array(result.series["tMondrian"])
+        # BUREL never exceeds its target; tMondrian typically explodes.
+        assert (burel_betas <= np.array(result.x_values) + 1e-9).all()
+        assert tm_betas.max() > burel_betas.max()
+
+    def test_fig8b_runs(self):
+        result = fig8.run_fig8b(SMALL_QUERY)
+        assert set(result.series) == {"BUREL", "LMondrian", "DMondrian"}
+        assert all(len(v) == 5 for v in result.series.values())
+
+    def test_fig9b_perturbation_error_decreases(self):
+        cfg = ExperimentConfig(n=8_000, n_queries=150, qi=CENSUS_QI_ORDER)
+        result = fig9.run_fig9b(cfg)
+        errors = result.series["(rho1,rho2)-privacy"]
+        assert errors[-1] < errors[0]
+
+    def test_registry_complete(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "table7", "nb_attack", "section2", "definetti_sweep",
+        }
+
+    def test_definetti_decays_with_l(self):
+        from repro.experiments import definetti_sweep
+
+        cfg = ExperimentConfig(n=3_000, correlation=0.9)
+        result = definetti_sweep.run_anatomy_sweep(cfg)
+        acc = result.series["deFinetti"]
+        assert acc[-1] < acc[0]  # Cormode's observation
+
+    def test_section2_budgets_satisfied_but_beta_uncontrolled(self):
+        from repro.experiments import section2
+
+        result = section2.run(SMALL)
+        # At the loosest budget each divergence lets measured beta
+        # exceed what even beta=5 would allow for some value.
+        assert max(
+            series[-1] for series in result.series.values()
+        ) > 5.0
+
+    def test_report_generation(self, tmp_path):
+        from repro.experiments import report, fig5, table7
+
+        text = report.render_report(
+            results=[table7.run(SMALL)],
+            configs={"table7": SMALL},
+            elapsed_seconds=1.0,
+        )
+        assert "table7" in text and "| beta |" in text
+        out = tmp_path / "report.md"
+        out.write_text(text)
+        assert out.read_text() == text

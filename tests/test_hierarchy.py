@@ -1,0 +1,119 @@
+"""Unit tests for generalization hierarchies."""
+
+import pytest
+
+from repro.hierarchy import Hierarchy, balanced_hierarchy
+from repro.dataset.patients import disease_hierarchy
+
+
+class TestConstruction:
+    def test_flat_hierarchy_has_height_one(self):
+        h = Hierarchy.flat(["a", "b", "c"])
+        assert h.height == 1
+        assert h.n_leaves == 3
+
+    def test_from_spec_nested(self):
+        h = disease_hierarchy()
+        assert h.n_leaves == 6
+        assert h.height == 2
+
+    def test_duplicate_leaf_labels_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Hierarchy.flat(["a", "a"])
+
+    def test_single_leaf(self):
+        h = Hierarchy.flat(["only"])
+        assert h.n_leaves == 1
+        assert h.rank_of("only") == 0
+
+
+class TestPreorderRanks:
+    def test_fig1_preorder(self):
+        h = disease_hierarchy()
+        order = [h.leaf_label(i) for i in range(6)]
+        assert order == [
+            "headache",
+            "epilepsy",
+            "brain tumors",
+            "anemia",
+            "angina",
+            "heart murmur",
+        ]
+
+    def test_rank_roundtrip(self):
+        h = disease_hierarchy()
+        for label in ("headache", "angina"):
+            assert h.leaf_label(h.rank_of(label)) == label
+
+    def test_node_spans_are_contiguous(self):
+        h = disease_hierarchy()
+        nervous = h.find("nervous diseases")
+        assert (nervous.rank_lo, nervous.rank_hi) == (0, 2)
+        circulatory = h.find("circulatory diseases")
+        assert (circulatory.rank_lo, circulatory.rank_hi) == (3, 5)
+
+
+class TestLCA:
+    def test_lca_within_subtree(self):
+        h = disease_hierarchy()
+        node = h.lca([0, 2])  # headache .. brain tumors
+        assert node.label == "nervous diseases"
+
+    def test_lca_across_subtrees_is_root(self):
+        h = disease_hierarchy()
+        assert h.lca([0, 5]) is h.root
+
+    def test_lca_single_leaf_is_leaf(self):
+        h = disease_hierarchy()
+        node = h.lca([4])
+        assert node.is_leaf and node.label == "angina"
+
+    def test_lca_empty_raises(self):
+        with pytest.raises(ValueError):
+            disease_hierarchy().lca([])
+
+    def test_lca_out_of_range(self):
+        with pytest.raises(ValueError):
+            disease_hierarchy().lca_of_range(0, 99)
+
+
+class TestGeneralizationCost:
+    def test_leaf_costs_zero(self):
+        h = disease_hierarchy()
+        assert h.generalization_cost(2, 2) == 0.0
+
+    def test_subtree_cost_matches_eq3(self):
+        h = disease_hierarchy()
+        # nervous diseases covers 3 of 6 leaves.
+        assert h.generalization_cost(0, 2) == pytest.approx(0.5)
+
+    def test_root_cost_is_one(self):
+        h = disease_hierarchy()
+        assert h.generalization_cost(0, 5) == pytest.approx(1.0)
+
+    def test_interval_snaps_to_covering_node(self):
+        h = disease_hierarchy()
+        # leaves 1..3 straddle the two subtrees -> LCA is the root.
+        assert h.generalization_cost(1, 3) == pytest.approx(1.0)
+
+
+class TestBalancedBuilder:
+    @pytest.mark.parametrize("n,height", [(6, 2), (10, 3), (2, 1), (7, 2)])
+    def test_height_realized(self, n, height):
+        labels = [f"v{i}" for i in range(n)]
+        h = balanced_hierarchy(labels, height)
+        assert h.height == height
+        assert h.n_leaves == n
+
+    def test_leaf_order_preserved(self):
+        labels = [f"v{i}" for i in range(10)]
+        h = balanced_hierarchy(labels, 3)
+        assert [h.leaf_label(i) for i in range(10)] == labels
+
+    def test_invalid_height(self):
+        with pytest.raises(ValueError):
+            balanced_hierarchy(["a"], 0)
+
+    def test_find_missing_label(self):
+        with pytest.raises(KeyError):
+            disease_hierarchy().find("nonexistent")

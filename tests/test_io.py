@@ -1,0 +1,105 @@
+"""Tests for publication serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import burel, perturb_table
+from repro.io import (
+    generalized_to_rows,
+    read_csv_rows,
+    read_perturbation_sidecar,
+    write_generalized_csv,
+    write_perturbed_csv,
+)
+
+
+class TestGeneralizedExport:
+    def test_one_row_per_tuple(self, patients):
+        published = burel(patients, 1.0, margin=0.0).published
+        rows = generalized_to_rows(published)
+        assert len(rows) == patients.n_rows
+
+    def test_columns(self, patients):
+        published = burel(patients, 1.0, margin=0.0).published
+        row = generalized_to_rows(published)[0]
+        assert set(row) == {"ec", "Weight", "Age", "Disease"}
+
+    def test_sa_values_verbatim(self, patients):
+        published = burel(patients, 1.0, margin=0.0).published
+        rows = generalized_to_rows(published)
+        diseases = sorted(r["Disease"] for r in rows)
+        assert diseases == sorted(patients.schema.sensitive.values)
+
+    def test_csv_roundtrip(self, patients, tmp_path):
+        published = burel(patients, 1.0, margin=0.0).published
+        path = tmp_path / "published.csv"
+        write_generalized_csv(published, path)
+        rows = read_csv_rows(path)
+        assert len(rows) == 6
+        assert rows[0]["ec"] == "0"
+
+    def test_census_export(self, census_small, tmp_path):
+        published = burel(census_small, 3.0).published
+        path = tmp_path / "census.csv"
+        write_generalized_csv(published, path)
+        rows = read_csv_rows(path)
+        assert len(rows) == census_small.n_rows
+        # Generalized gender cells are hierarchy node labels.
+        assert any(
+            r["Gender"] in {"male", "female", "person"} for r in rows
+        )
+
+
+class TestPerturbedExport:
+    def test_csv_and_sidecar(self, census_small, tmp_path, rng):
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        path = tmp_path / "perturbed.csv"
+        write_perturbed_csv(perturbed, path)
+        rows = read_csv_rows(path)
+        assert len(rows) == census_small.n_rows
+        sidecar = read_perturbation_sidecar(tmp_path / "perturbed.json")
+        assert sidecar["transition_matrix"].shape == (50, 50)
+        assert sidecar["overall_distribution"].sum() == pytest.approx(1.0)
+
+    def test_sidecar_matrix_matches_scheme(self, census_small, tmp_path, rng):
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        write_perturbed_csv(perturbed, tmp_path / "p.csv")
+        sidecar = read_perturbation_sidecar(tmp_path / "p.json")
+        assert np.allclose(
+            sidecar["transition_matrix"], perturbed.scheme.matrix
+        )
+
+    def test_explicit_sidecar_path(self, census_small, tmp_path, rng):
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        write_perturbed_csv(
+            perturbed, tmp_path / "p.csv", sidecar=tmp_path / "meta.json"
+        )
+        assert (tmp_path / "meta.json").exists()
+        payload = json.loads((tmp_path / "meta.json").read_text())
+        assert payload["sensitive_attribute"] == "SalaryClass"
+
+
+class TestDisplay:
+    def test_describe_interval_numerical(self, patients):
+        from repro.dataset import describe_interval
+
+        assert describe_interval(patients.schema, 0, 50, 80) == "Weight=[50, 80]"
+        assert describe_interval(patients.schema, 0, 60, 60) == "Weight=60"
+
+    def test_describe_interval_categorical(self, census_full_qi):
+        from repro.dataset import describe_interval
+
+        schema = census_full_qi.schema
+        g = schema.qi_index("Gender")
+        assert describe_interval(schema, g, 0, 1) == "Gender=person"
+        assert describe_interval(schema, g, 0, 0) == "Gender=male"
+
+    def test_show_published_limit(self, census_small):
+        from repro.dataset import show_published
+
+        published = burel(census_small, 3.0).published
+        text = show_published(published, limit=3)
+        assert "more" in text
+        assert text.count("tuples:") == 3

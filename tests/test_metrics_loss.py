@@ -1,0 +1,103 @@
+"""Tests for the information-loss metrics (Eqs. 2–5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import burel
+from repro.dataset import make_patients, publish
+from repro.metrics import (
+    average_class_size,
+    average_information_loss,
+    discernibility,
+    il_attribute,
+    il_class,
+)
+
+
+@pytest.fixture()
+def patients_published(patients):
+    # Example 1's good partition: {1,2,3} and {4,5,6} (0-based indices).
+    return publish(
+        patients, [np.array([0, 1, 2]), np.array([3, 4, 5])]
+    )
+
+
+class TestIlAttribute:
+    def test_numerical_full_span(self, patients):
+        # Weight domain is [50, 80]; an EC spanning it has IL 1.
+        assert il_attribute(patients.schema, 0, 50, 80) == pytest.approx(1.0)
+
+    def test_numerical_partial_span(self, patients):
+        assert il_attribute(patients.schema, 0, 50, 65) == pytest.approx(0.5)
+
+    def test_numerical_point(self, patients):
+        assert il_attribute(patients.schema, 0, 60, 60) == 0.0
+
+    def test_degenerate_domain(self):
+        from repro.dataset import Attribute, Schema, SensitiveAttribute
+
+        schema = Schema(
+            [Attribute.numerical("x", 5, 5)],
+            SensitiveAttribute("s", ("a",)),
+        )
+        assert il_attribute(schema, 0, 5, 5) == 0.0
+
+
+class TestIlClass:
+    def test_eq4_equal_weights(self, patients, patients_published):
+        ec = patients_published.classes[0]
+        manual = 0.5 * sum(
+            il_attribute(patients.schema, j, lo, hi)
+            for j, (lo, hi) in enumerate(ec.box)
+        )
+        assert il_class(patients.schema, ec) == pytest.approx(manual)
+
+    def test_custom_weights(self, patients, patients_published):
+        ec = patients_published.classes[0]
+        weighted = il_class(patients.schema, ec, weights=[1.0, 0.0])
+        assert weighted == pytest.approx(
+            il_attribute(patients.schema, 0, *ec.box[0])
+        )
+
+    def test_invalid_weights(self, patients, patients_published):
+        ec = patients_published.classes[0]
+        with pytest.raises(ValueError):
+            il_class(patients.schema, ec, weights=[0.9, 0.3])
+
+
+class TestAil:
+    def test_single_class_covering_table(self, patients):
+        gt = publish(patients, [np.arange(6)])
+        # Both attributes fully generalized -> AIL = 1.
+        assert average_information_loss(gt) == pytest.approx(1.0)
+
+    def test_example1_partition_beats_single_class(
+        self, patients, patients_published
+    ):
+        """Example 1's message: two spatial ECs lose less information
+        than one table-wide EC."""
+        single = publish(patients, [np.arange(6)])
+        assert average_information_loss(
+            patients_published
+        ) < average_information_loss(single)
+
+    def test_size_weighted(self, patients):
+        gt = publish(patients, [np.array([0]), np.arange(1, 6)])
+        manual = (
+            1 * il_class(patients.schema, gt.classes[0])
+            + 5 * il_class(patients.schema, gt.classes[1])
+        ) / 6
+        assert average_information_loss(gt) == pytest.approx(manual)
+
+    def test_ail_in_unit_interval(self, census_small):
+        result = burel(census_small, 3.0)
+        ail = average_information_loss(result.published)
+        assert 0.0 <= ail <= 1.0
+
+
+class TestAuxiliaryMetrics:
+    def test_discernibility(self, patients_published):
+        assert discernibility(patients_published) == 9 + 9
+
+    def test_average_class_size(self, patients_published):
+        assert average_class_size(patients_published) == pytest.approx(3.0)

@@ -1,0 +1,83 @@
+"""Tests for measured-privacy metrics (the Fig. 4 / §7 instrumentation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import burel
+from repro.dataset import publish
+from repro.metrics import (
+    average_beta,
+    average_l,
+    average_t,
+    measured_beta,
+    measured_delta,
+    measured_l,
+    measured_t,
+    privacy_profile,
+)
+
+
+@pytest.fixture()
+def skewed_publication(patients):
+    """Two ECs: one all-nervous, one all-circulatory (similarity-attack
+    prone, as in the paper's §2 3-diverse example)."""
+    return publish(patients, [np.array([0, 1, 2]), np.array([3, 4, 5])])
+
+
+class TestMeasuredBeta:
+    def test_uniform_publication_has_beta_one(self, skewed_publication):
+        # p_i = 1/6 globally, q_i = 1/3 in each EC -> gain = 1.
+        assert measured_beta(skewed_publication) == pytest.approx(1.0)
+
+    def test_single_class_is_zero(self, patients):
+        gt = publish(patients, [np.arange(6)])
+        assert measured_beta(gt) == pytest.approx(0.0)
+
+    def test_average_beta_le_measured(self, census_small):
+        pub = burel(census_small, 3.0).published
+        assert average_beta(pub) <= measured_beta(pub) + 1e-12
+
+
+class TestMeasuredT:
+    def test_equal_distance(self, skewed_publication):
+        # Each EC gains 1/6 on each of its three values -> EMD = 0.5.
+        assert measured_t(skewed_publication) == pytest.approx(0.5)
+
+    def test_ordered_le_equal(self, census_small):
+        pub = burel(census_small, 3.0).published
+        assert measured_t(pub, ordered=True) <= measured_t(pub) + 1e-12
+
+    def test_average_le_max(self, census_small):
+        pub = burel(census_small, 3.0).published
+        assert average_t(pub) <= measured_t(pub) + 1e-12
+
+
+class TestMeasuredL:
+    def test_distinct_counts(self, skewed_publication):
+        assert measured_l(skewed_publication) == 3
+        assert average_l(skewed_publication) == pytest.approx(3.0)
+
+    def test_single_class(self, patients):
+        gt = publish(patients, [np.arange(6)])
+        assert measured_l(gt) == 6
+
+
+class TestMeasuredDelta:
+    def test_infinite_when_value_missing(self, skewed_publication):
+        # Each EC misses half the domain -> δ-disclosure fails outright.
+        assert measured_delta(skewed_publication) == float("inf")
+
+    def test_finite_for_full_support(self, patients):
+        gt = publish(patients, [np.arange(6)])
+        assert measured_delta(gt) == pytest.approx(0.0)
+
+
+class TestProfile:
+    def test_profile_fields_consistent(self, census_small):
+        pub = burel(census_small, 3.0).published
+        prof = privacy_profile(pub)
+        assert prof.beta == pytest.approx(measured_beta(pub))
+        assert prof.t == pytest.approx(measured_t(pub))
+        assert prof.l == measured_l(pub)
+        assert prof.n_classes == len(pub)
+        assert "beta=" in str(prof)

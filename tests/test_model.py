@@ -1,0 +1,137 @@
+"""Tests for the β-likeness model (Definitions 2–3, Eq. 1, Lemma 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BetaLikeness
+
+
+class TestThresholdFunction:
+    """The four §3 properties of f(p)."""
+
+    def test_f_below_one_for_p_below_one(self):
+        model = BetaLikeness(2.0)
+        p = np.linspace(0.001, 0.999, 200)
+        assert (np.asarray(model.threshold(p)) < 1.0).all()
+
+    def test_f_monotone_increasing(self):
+        model = BetaLikeness(3.0)
+        p = np.linspace(0.001, 1.0, 500)
+        f = np.asarray(model.threshold(p))
+        assert (np.diff(f) > -1e-12).all()
+
+    def test_infrequent_values_linear_branch(self):
+        beta = 2.0
+        model = BetaLikeness(beta)
+        p = 0.5 * np.exp(-beta)  # below the breakpoint
+        assert model.threshold(p) == pytest.approx((1 + beta) * p)
+
+    def test_frequent_values_log_branch(self):
+        beta = 2.0
+        model = BetaLikeness(beta)
+        p = 2 * np.exp(-beta)  # above the breakpoint
+        assert model.threshold(p) == pytest.approx((1 - np.log(p)) * p)
+
+    def test_branches_meet_at_breakpoint(self):
+        beta = 1.5
+        model = BetaLikeness(beta)
+        p = np.exp(-beta)
+        assert model.threshold(p) == pytest.approx((1 + beta) * p)
+
+    def test_boundary_values(self):
+        model = BetaLikeness(2.0)
+        assert model.threshold(0.0) == 0.0
+        assert model.threshold(1.0) == pytest.approx(1.0)
+
+    def test_basic_model_is_linear_everywhere(self):
+        model = BetaLikeness(2.0, enhanced=False)
+        p = np.array([0.01, 0.3, 0.9])
+        assert np.allclose(np.asarray(model.threshold(p)), 3.0 * p)
+
+    def test_example2_f_values(self):
+        """f values worked out in Example 2: 0.31, 0.45, 0.54."""
+        model = BetaLikeness(2.0)
+        assert model.threshold(2 / 19) == pytest.approx(0.31, abs=0.01)
+        assert model.threshold(3 / 19) == pytest.approx(0.45, abs=0.01)
+        assert model.threshold(4 / 19) == pytest.approx(0.54, abs=0.01)
+
+    def test_rejects_bad_inputs(self):
+        model = BetaLikeness(1.0)
+        with pytest.raises(ValueError):
+            model.threshold(np.array([-0.1]))
+        with pytest.raises(ValueError):
+            model.threshold(np.array([1.1]))
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError):
+            BetaLikeness(0.0)
+        with pytest.raises(ValueError):
+            BetaLikeness(-1.0)
+
+
+class TestCompliance:
+    def test_global_distribution_always_complies(self):
+        model = BetaLikeness(0.5)
+        p = np.array([0.1, 0.2, 0.7])
+        assert model.complies(p, p)
+
+    def test_violating_distribution(self):
+        model = BetaLikeness(1.0)
+        p = np.array([0.1, 0.9])
+        q = np.array([0.5, 0.5])  # gain on v1 = 4 > 1
+        assert not model.complies(p, q)
+        assert model.violations(p, q).tolist() == [0]
+
+    def test_absent_values_allowed(self):
+        """Unlike δ-disclosure-privacy, β-likeness accepts q_i = 0."""
+        model = BetaLikeness(1.0)
+        p = np.array([0.5, 0.5])
+        q = np.array([1.0, 0.0])
+        # q_0 = 1 > f(0.5) so this violates, but only through value 0.
+        assert model.violations(p, q).tolist() == [0]
+        q2 = np.array([0.84, 0.16])  # f(0.5) = 0.5*(1+ln 2) ~ 0.8466
+        assert model.complies(p, q2)
+
+    def test_counts_interface(self):
+        model = BetaLikeness(2.0)
+        global_counts = np.array([50, 50])
+        assert model.complies_counts(global_counts, np.array([5, 5]))
+        assert not model.complies_counts(global_counts, np.array([0, 0]))
+
+    def test_gain_function(self):
+        model = BetaLikeness(1.0)
+        assert model.gain(0.1, 0.3) == pytest.approx(2.0)
+        assert model.gain(0.3, 0.1) == 0.0
+        assert model.gain(0.0, 0.1) == float("inf")
+
+    def test_str(self):
+        assert "enhanced" in str(BetaLikeness(2.0))
+        assert "basic" in str(BetaLikeness(2.0, enhanced=False))
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_lemma1_monotonicity_property(data):
+    """Lemma 1: merging two ECs never increases the distance to P."""
+    m = data.draw(st.integers(min_value=2, max_value=6))
+    counts1 = np.array(
+        data.draw(st.lists(st.integers(0, 20), min_size=m, max_size=m))
+    )
+    counts2 = np.array(
+        data.draw(st.lists(st.integers(0, 20), min_size=m, max_size=m))
+    )
+    if counts1.sum() == 0 or counts2.sum() == 0:
+        return
+    total = counts1 + counts2
+    p = total / total.sum()  # overall distribution from the union
+    model = BetaLikeness(1.0)
+    q1 = counts1 / counts1.sum()
+    q2 = counts2 / counts2.sum()
+    q3 = total / total.sum()
+    for i in range(m):
+        if p[i] > 0:
+            d3 = model.gain(p[i], q3[i])
+            d_max = max(model.gain(p[i], q1[i]), model.gain(p[i], q2[i]))
+            assert d3 <= d_max + 1e-9

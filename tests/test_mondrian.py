@@ -1,0 +1,144 @@
+"""Tests for the Mondrian family and its constraints (§6 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import (
+    beta_likeness,
+    d_mondrian,
+    delta_disclosure,
+    delta_for_beta,
+    distinct_l_diversity,
+    k_anonymity,
+    k_mondrian,
+    l_mondrian,
+    mondrian,
+    t_closeness,
+    t_mondrian,
+)
+from repro.metrics import (
+    average_information_loss,
+    measured_beta,
+    measured_delta,
+    measured_l,
+    measured_t,
+)
+
+
+class TestConstraints:
+    def test_k_anonymity(self):
+        c = k_anonymity(5)
+        assert c(np.array([3, 3]), 6)
+        assert not c(np.array([2, 2]), 4)
+        with pytest.raises(ValueError):
+            k_anonymity(0)
+
+    def test_distinct_l_diversity(self):
+        c = distinct_l_diversity(3)
+        assert c(np.array([1, 1, 1, 0]), 3)
+        assert not c(np.array([3, 1, 0, 0]), 4)
+
+    def test_t_closeness(self):
+        p = np.array([0.5, 0.5])
+        c = t_closeness(p, 0.2)
+        assert c(np.array([6, 4]), 10)       # EMD 0.1
+        assert not c(np.array([9, 1]), 10)   # EMD 0.4
+
+    def test_delta_disclosure_requires_full_support(self):
+        p = np.array([0.5, 0.5])
+        c = delta_disclosure(p, 1.0)
+        assert not c(np.array([10, 0]), 10)
+        assert c(np.array([5, 5]), 10)
+
+    def test_beta_likeness_constraint(self):
+        p = np.array([0.9, 0.1])
+        c = beta_likeness(p, 1.0)
+        assert c(np.array([9, 1]), 10)
+        assert not c(np.array([5, 5]), 10)  # v2 gain = 4 > 1
+
+    def test_delta_for_beta_formula(self):
+        p = np.array([0.2, 0.8])
+        delta = delta_for_beta(p, 3.0)
+        expected = np.log(1 + min(3.0, -np.log(0.8)))
+        assert delta == pytest.approx(expected)
+
+
+class TestMondrianCore:
+    def test_k_anonymity_guarantee(self, census_small):
+        result = k_mondrian(census_small, 25)
+        assert min(ec.size for ec in result.published) >= 25
+
+    def test_partition_covers_table(self, census_small):
+        result = k_mondrian(census_small, 25)
+        rows = np.concatenate([ec.rows for ec in result.published])
+        assert len(np.unique(rows)) == census_small.n_rows
+
+    def test_boxes_disjoint(self, census_small):
+        """Strict Mondrian produces non-overlapping boxes."""
+        result = k_mondrian(census_small, 100)
+        boxes = [ec.box for ec in result.published]
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                overlap = all(
+                    min(boxes[i][d][1], boxes[j][d][1])
+                    >= max(boxes[i][d][0], boxes[j][d][0])
+                    for d in range(len(boxes[i]))
+                )
+                assert not overlap
+
+    def test_smaller_k_gives_more_classes(self, census_small):
+        big = k_mondrian(census_small, 200)
+        small = k_mondrian(census_small, 25)
+        assert len(small.published) >= len(big.published)
+
+    def test_try_all_dims_never_worse(self, census_small):
+        stock = l_mondrian(census_small, 2.0)
+        strong = l_mondrian(census_small, 2.0, try_all_dims=True)
+        assert average_information_loss(
+            strong.published
+        ) <= average_information_loss(stock.published) + 1e-12
+
+    def test_empty_table_rejected(self, census_small):
+        empty = census_small.subset(np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            mondrian(empty, k_anonymity(2))
+
+
+class TestPaperComparators:
+    def test_l_mondrian_satisfies_beta_likeness(self, census_small):
+        for beta in (2.0, 4.0):
+            result = l_mondrian(census_small, beta)
+            assert measured_beta(result.published) <= beta + 1e-9
+
+    def test_d_mondrian_satisfies_beta_likeness(self, census_small):
+        """The §6.2 derivation: δ-disclosure with delta_for_beta implies
+        β-likeness."""
+        result = d_mondrian(census_small, 3.0)
+        assert measured_beta(result.published) <= 3.0 + 1e-9
+
+    def test_d_mondrian_delta_bound(self, census_small):
+        result = d_mondrian(census_small, 3.0)
+        delta = delta_for_beta(census_small.sa_distribution(), 3.0)
+        assert measured_delta(result.published) <= delta + 1e-9
+
+    def test_d_mondrian_stricter_than_l_mondrian(self, census_small):
+        """DMondrian's two-sided constraint yields at least as much
+        information loss (the paper's Fig. 5 ordering)."""
+        lm = l_mondrian(census_small, 3.0)
+        dm = d_mondrian(census_small, 3.0)
+        assert average_information_loss(
+            dm.published
+        ) >= average_information_loss(lm.published) - 1e-12
+
+    def test_t_mondrian_satisfies_t(self, census_small):
+        for t in (0.15, 0.3):
+            result = t_mondrian(census_small, t)
+            assert measured_t(result.published) <= t + 1e-9
+
+    def test_t_mondrian_ordered_mode(self, census_small):
+        result = t_mondrian(census_small, 0.1, ordered=True)
+        assert measured_t(result.published, ordered=True) <= 0.1 + 1e-9
+
+    def test_distinct_l_via_mondrian(self, census_small):
+        result = mondrian(census_small, distinct_l_diversity(10))
+        assert measured_l(result.published) >= 10

@@ -1,0 +1,61 @@
+"""Tests for the paper's running-example fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import (
+    DISEASES,
+    disease_hierarchy,
+    make_example2_table,
+    make_patients,
+)
+from repro.dataset.patients import EXAMPLE2_COUNTS
+
+
+class TestTable1:
+    def test_six_records(self, patients):
+        assert patients.n_rows == 6
+
+    def test_each_disease_once(self, patients):
+        assert patients.sa_counts().tolist() == [1] * 6
+
+    def test_qi_values_match_paper(self, patients):
+        # ID 01 Mike: weight 70, age 40, headache.
+        assert patients.qi[0].tolist() == [70, 40]
+        assert patients.sa[0] == patients.schema.sensitive.code_of("headache")
+
+    def test_disease_hierarchy_is_fig1(self):
+        h = disease_hierarchy()
+        assert h.n_leaves == 6
+        assert {c.label for c in h.root.children} == {
+            "nervous diseases",
+            "circulatory diseases",
+        }
+
+
+class TestExample2:
+    def test_counts_match_paper(self, example2):
+        schema = example2.schema
+        counts = example2.sa_counts()
+        for name, expected in EXAMPLE2_COUNTS.items():
+            assert counts[schema.sensitive.code_of(name)] == expected
+
+    def test_total_19(self, example2):
+        assert example2.n_rows == 19
+
+    def test_distribution_matches_example(self, example2):
+        p = example2.sa_distribution()
+        assert p[example2.schema.sensitive.code_of("headache")] == pytest.approx(
+            2 / 19
+        )
+        assert p[example2.schema.sensitive.code_of("angina")] == pytest.approx(
+            4 / 19
+        )
+
+    def test_deterministic(self):
+        a, b = make_example2_table(), make_example2_table()
+        assert np.array_equal(a.qi, b.qi)
+
+    def test_diseases_tuple_matches_hierarchy(self):
+        h = disease_hierarchy()
+        assert tuple(h.leaf_label(i) for i in range(6)) == DISEASES

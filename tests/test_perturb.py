@@ -1,0 +1,150 @@
+"""Tests for the perturbation scheme (§5, Theorems 2–3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BetaLikeness, PerturbationScheme, perturb_table
+
+
+@pytest.fixture()
+def scheme(census_small):
+    return PerturbationScheme.fit(census_small.sa_distribution(), 4.0)
+
+
+class TestFit:
+    def test_alphas_in_unit_interval(self, scheme):
+        assert (scheme.alphas >= 0).all()
+        assert (scheme.alphas <= 1).all()
+
+    def test_matrix_is_column_stochastic(self, scheme):
+        sums = scheme.matrix.sum(axis=0)
+        assert np.allclose(sums, 1.0)
+        assert (scheme.matrix >= 0).all()
+
+    def test_diagonal_dominates_uniform(self, scheme):
+        """Lemma 3: keeping a value is always likelier than landing on it
+        from elsewhere."""
+        m = scheme.m
+        for j in range(m):
+            off_diagonal = np.delete(scheme.matrix[:, j], j)
+            assert (scheme.matrix[j, j] >= off_diagonal - 1e-12).all()
+
+    def test_gamma_formula(self, scheme):
+        i = 0
+        p, cap = scheme.probs[i], scheme.caps[i]
+        expected = (cap / p) * (1 - p) / (1 - cap)
+        assert scheme.gammas[i] == pytest.approx(expected)
+
+    def test_clm_from_max_gamma(self, scheme):
+        assert scheme.c_lm == pytest.approx(
+            1.0 / (scheme.gammas.max() + scheme.m - 1)
+        )
+
+    def test_theorem2_transition_ratio_bound(self, scheme):
+        """Inequality (7): Pr(v_i→v) / Pr(v_j→v) <= γ_i for all i, j, v."""
+        pm = scheme.matrix
+        for v in range(scheme.m):
+            row = pm[v, :]
+            min_prob = row.min()
+            assert min_prob > 0
+            for i in range(scheme.m):
+                assert row[i] / min_prob <= scheme.gammas[i] + 1e-9
+
+    def test_theorem3_posterior_confidence_bounded(self, scheme):
+        """The headline guarantee: for every observed value v, the Bayes
+        posterior of any original value v_i is at most f(p_i)."""
+        pm = scheme.matrix
+        p = scheme.probs
+        for v in range(scheme.m):
+            evidence = float(pm[v, :] @ p)
+            for i in range(scheme.m):
+                posterior = p[i] * pm[v, i] / evidence
+                assert posterior <= scheme.caps[i] + 1e-9
+
+    def test_single_value_domain(self):
+        scheme = PerturbationScheme.fit(np.array([0.0, 1.0]), 2.0)
+        assert scheme.m == 1
+        assert scheme.alphas[0] == 1.0
+
+    def test_absent_values_excluded(self):
+        probs = np.array([0.5, 0.0, 0.5])
+        scheme = PerturbationScheme.fit(probs, 2.0)
+        assert scheme.domain.tolist() == [0, 2]
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            PerturbationScheme.fit(np.zeros(3), 2.0)
+
+
+class TestPerturbation:
+    def test_output_within_domain(self, census_small, rng):
+        pt = perturb_table(census_small, 3.0, rng=rng)
+        assert set(np.unique(pt.sa_perturbed)) <= set(
+            pt.scheme.domain.tolist()
+        )
+
+    def test_qi_untouched(self, census_small, rng):
+        pt = perturb_table(census_small, 3.0, rng=rng)
+        assert pt.qi is census_small.qi
+
+    def test_retention_rate_matches_matrix(self, census_small):
+        pt = perturb_table(
+            census_small, 4.0, rng=np.random.default_rng(0)
+        )
+        expected = float(
+            np.diag(pt.scheme.matrix) @ pt.scheme.probs
+        )
+        assert pt.retention_rate() == pytest.approx(expected, abs=0.02)
+
+    def test_larger_beta_retains_more(self, census_small):
+        low = perturb_table(census_small, 1.0, rng=np.random.default_rng(0))
+        high = perturb_table(census_small, 5.0, rng=np.random.default_rng(0))
+        assert high.retention_rate() > low.retention_rate()
+
+    def test_unknown_code_rejected(self, census_small, rng):
+        scheme = PerturbationScheme.fit(np.array([0.5, 0.0, 0.5]), 2.0)
+        with pytest.raises(ValueError):
+            scheme.perturb(np.array([1]), rng)
+
+
+class TestReconstruction:
+    def test_exact_on_expected_counts(self, scheme):
+        """N' = PM^-1 (PM N) recovers N exactly."""
+        true = np.zeros(50)
+        true[scheme.domain] = np.arange(1, scheme.m + 1, dtype=float)
+        observed = scheme.expected_observed(true)
+        recovered = scheme.reconstruct(observed)
+        assert np.allclose(recovered, true)
+
+    def test_total_count_preserved(self, scheme, rng):
+        observed = np.zeros(50)
+        observed[scheme.domain] = rng.integers(0, 100, size=scheme.m)
+        recovered = scheme.reconstruct(observed)
+        assert recovered.sum() == pytest.approx(observed.sum())
+
+    def test_statistical_consistency(self, census_small):
+        """Reconstructing the full perturbed table approximates the true
+        histogram (law of large numbers over the randomized response)."""
+        pt = perturb_table(census_small, 4.0, rng=np.random.default_rng(3))
+        observed = np.bincount(pt.sa_perturbed, minlength=50)
+        recovered = pt.scheme.reconstruct(observed)
+        true = census_small.sa_counts()
+        # Within 5 standard-deviation-ish tolerance per value.
+        assert np.abs(recovered - true).mean() < 0.02 * census_small.n_rows
+
+
+@given(beta=st.floats(min_value=0.25, max_value=8.0))
+@settings(max_examples=30, deadline=None)
+def test_posterior_bound_property(beta):
+    """Theorem 3 holds for arbitrary skewed distributions and β."""
+    probs = np.array([0.01, 0.04, 0.15, 0.3, 0.5])
+    scheme = PerturbationScheme.fit(probs, beta)
+    model = BetaLikeness(beta)
+    caps = np.asarray(model.threshold(scheme.probs), dtype=float)
+    pm = scheme.matrix
+    for v in range(scheme.m):
+        evidence = float(pm[v, :] @ scheme.probs)
+        posteriors = scheme.probs * pm[v, :] / evidence
+        assert (posteriors <= caps + 1e-9).all()

@@ -1,0 +1,124 @@
+"""Property-based tests of the core guarantees on random microdata.
+
+These are the paper's theorems exercised end-to-end: whatever table
+hypothesis constructs, BUREL output must satisfy β-likeness (Theorem 1)
+and the perturbation scheme must bound posterior confidence (Theorem 3).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BetaLikeness,
+    PerturbationScheme,
+    burel,
+    dp_partition,
+)
+from repro.dataset import Attribute, Schema, SensitiveAttribute, Table
+from repro.metrics import measured_beta
+
+
+@st.composite
+def random_tables(draw):
+    """Small random tables with 1–3 numerical QI attributes."""
+    n_qi = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=m * 4, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    qi_attrs = [Attribute.numerical(f"x{j}", 0, 19) for j in range(n_qi)]
+    schema = Schema(
+        qi_attrs, SensitiveAttribute("s", tuple(f"v{i}" for i in range(m)))
+    )
+    qi = rng.integers(0, 20, size=(n, n_qi))
+    # Skewed SA values, every value present at least once.
+    weights = rng.random(m) ** 2 + 0.05
+    sa = rng.choice(m, size=n, p=weights / weights.sum())
+    sa[:m] = np.arange(m)
+    return Table(schema, qi, sa)
+
+
+@given(table=random_tables(), beta=st.floats(min_value=0.5, max_value=6.0))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_burel_always_satisfies_beta_likeness(table, beta):
+    """Theorem 1, end to end, on arbitrary microdata."""
+    result = burel(table, beta)
+    assert measured_beta(result.published) <= beta + 1e-9
+    rows = np.concatenate([ec.rows for ec in result.published])
+    assert len(np.unique(rows)) == table.n_rows
+
+
+@given(table=random_tables(), beta=st.floats(min_value=0.5, max_value=6.0))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_burel_paper_verbatim_always_satisfies(table, beta):
+    """The margin=0 / naive-split / no-separation pipeline too."""
+    result = burel(
+        table, beta, margin=0.0, balanced_split=False, separate=False
+    )
+    assert measured_beta(result.published) <= beta + 1e-9
+
+
+@given(
+    m=st.integers(min_value=2, max_value=12),
+    beta=st.floats(min_value=0.3, max_value=6.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_perturbation_posterior_bound(m, beta, seed):
+    """Theorem 3 on random skewed distributions."""
+    rng = np.random.default_rng(seed)
+    raw = rng.random(m) ** 3 + 1e-3
+    probs = raw / raw.sum()
+    scheme = PerturbationScheme.fit(probs, beta)
+    model = BetaLikeness(beta)
+    caps = np.asarray(model.threshold(scheme.probs), dtype=float)
+    pm = scheme.matrix
+    for v in range(scheme.m):
+        evidence = float(pm[v, :] @ scheme.probs)
+        posterior = scheme.probs * pm[v, :] / evidence
+        assert (posterior <= caps + 1e-9).all()
+
+
+@given(
+    m=st.integers(min_value=2, max_value=10),
+    beta=st.floats(min_value=0.3, max_value=6.0),
+    margin=st.floats(min_value=0.0, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_dp_partition_root_always_eligible(m, beta, margin, seed):
+    """Lemma 2: proportional composition of any DP bucket partition
+    satisfies the eligibility caps, for any margin."""
+    rng = np.random.default_rng(seed)
+    raw = rng.random(m) + 1e-3
+    probs = raw / raw.sum()
+    model = BetaLikeness(beta)
+    part = dp_partition(probs, model, margin=margin)
+    assert (part.weights <= part.f_min + 1e-9).all()
+
+
+@given(
+    counts=st.lists(st.integers(0, 40), min_size=2, max_size=8),
+)
+@settings(max_examples=80, deadline=None)
+def test_balanced_halve_conservation(counts):
+    """Splits conserve counts and balance totals for any node."""
+    from repro.core import balanced_halve
+
+    arr = np.array(counts, dtype=np.int64)
+    if arr.sum() == 0:
+        return
+    left, right = balanced_halve(arr)
+    assert np.array_equal(left + right, arr)
+    assert abs(int(left.sum()) - int(right.sum())) <= 1
+    assert (left >= 0).all() and (right >= 0).all()

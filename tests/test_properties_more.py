@@ -1,0 +1,128 @@
+"""Additional property-based tests: comparators, retrieval internals,
+queries and groupings on random inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymity import k_mondrian, sabre
+from repro.core.retrieve import _AliveOrder
+from repro.dataset import Attribute, Schema, SensitiveAttribute, Table
+from repro.metrics import measured_t
+from repro.query import answer_precise, make_query
+
+
+@st.composite
+def random_tables(draw):
+    n_qi = draw(st.integers(min_value=1, max_value=3))
+    m = draw(st.integers(min_value=2, max_value=6))
+    n = draw(st.integers(min_value=m * 4, max_value=120))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    schema = Schema(
+        [Attribute.numerical(f"x{j}", 0, 15) for j in range(n_qi)],
+        SensitiveAttribute("s", tuple(f"v{i}" for i in range(m))),
+    )
+    qi = rng.integers(0, 16, size=(n, n_qi))
+    sa = rng.integers(0, m, size=n)
+    sa[:m] = np.arange(m)
+    return Table(schema, qi, sa)
+
+
+@given(table=random_tables(), k=st.integers(min_value=2, max_value=20))
+@settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_mondrian_k_anonymity_property(table, k):
+    """k-anonymity holds for any table when k <= n; classes partition."""
+    if k > table.n_rows:
+        return
+    result = k_mondrian(table, k)
+    sizes = [ec.size for ec in result.published]
+    assert min(sizes) >= k
+    rows = np.concatenate([ec.rows for ec in result.published])
+    assert len(np.unique(rows)) == table.n_rows
+
+
+@given(table=random_tables(), t=st.floats(min_value=0.05, max_value=0.8))
+@settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_sabre_t_closeness_property(table, t):
+    """SABRE's worst-case construction never exceeds its budget."""
+    result = sabre(table, t)
+    assert measured_t(result.published) <= t + 1e-9
+
+
+@given(
+    size=st.integers(min_value=1, max_value=40),
+    kills=st.lists(st.integers(min_value=0, max_value=39), max_size=60),
+    probes=st.lists(st.integers(min_value=0, max_value=39), max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_alive_order_matches_bruteforce(size, kills, probes):
+    """The union-find neighbour structure agrees with a boolean mask."""
+    order = _AliveOrder(size)
+    alive = np.ones(size, dtype=bool)
+    for k in kills:
+        if k < size and alive[k]:
+            order.kill(k)
+            alive[k] = False
+    for p in probes:
+        if p >= size:
+            continue
+        # Brute-force neighbours.
+        right = next((i for i in range(p, size) if alive[i]), size)
+        left = next((i for i in range(p, -1, -1) if alive[i]), -1)
+        assert order.find_right(p) == right
+        assert order.find_left(p) == left
+    assert order.alive == int(alive.sum())
+
+
+@given(
+    table=random_tables(),
+    lam=st.integers(min_value=1, max_value=3),
+    theta=st.floats(min_value=0.02, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=50, deadline=None)
+def test_query_answers_bounded_property(table, lam, theta, seed):
+    """Precise answers always lie in [0, n] and respect predicates."""
+    if lam > table.schema.n_qi:
+        return
+    rng = np.random.default_rng(seed)
+    query = make_query(table.schema, lam, theta, rng)
+    answer = answer_precise(table, query)
+    assert 0 <= answer <= table.n_rows
+    # Shrinking the SA range can only shrink the answer.
+    lo, hi = query.sa_range
+    if hi > lo:
+        from repro.query import CountQuery
+
+        narrower = CountQuery(qi_ranges=query.qi_ranges, sa_range=(lo, hi - 1))
+        assert answer_precise(table, narrower) <= answer
+
+
+@given(
+    m=st.integers(min_value=2, max_value=10),
+    n_groups=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=9999),
+)
+@settings(max_examples=60, deadline=None)
+def test_grouping_counts_conserve_mass(m, n_groups, seed):
+    """Aggregating counts over any random grouping conserves totals."""
+    from repro.extensions import SAGrouping
+
+    rng = np.random.default_rng(seed)
+    n_groups = min(n_groups, m)
+    assignment = rng.integers(0, n_groups, size=m)
+    assignment[:n_groups] = np.arange(n_groups)  # every group non-empty
+    groups = [list(np.nonzero(assignment == g)[0]) for g in range(n_groups)]
+    grouping = SAGrouping.from_lists(m, groups)
+    counts = rng.integers(0, 50, size=m)
+    aggregated = grouping.counts(counts)
+    assert aggregated.sum() == counts.sum()
+    assert aggregated.shape == (n_groups,)

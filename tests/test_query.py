@@ -1,0 +1,209 @@
+"""Tests for the COUNT-query workload and estimators (§5, §6.2–6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import BaselinePublication
+from repro.core import burel, perturb_table
+from repro.dataset import publish
+from repro.query import (
+    BaselineAnswerer,
+    CountQuery,
+    GeneralizedAnswerer,
+    PerturbedAnswerer,
+    answer_baseline,
+    answer_generalized,
+    answer_perturbed,
+    answer_precise,
+    make_query,
+    make_workload,
+    median_relative_error,
+    qi_mask,
+    relative_errors,
+)
+
+
+class TestWorkload:
+    def test_query_shape(self, census_small, rng):
+        q = make_query(census_small.schema, lam=2, theta=0.1, rng=rng)
+        assert q.n_qi_predicates == 2
+        lo, hi = q.sa_range
+        assert 0 <= lo <= hi <= 49
+
+    def test_ranges_within_domains(self, census_small, rng):
+        for _ in range(50):
+            q = make_query(census_small.schema, lam=3, theta=0.1, rng=rng)
+            for dim, (lo, hi) in q.qi_ranges:
+                attr = census_small.schema.qi[dim]
+                assert attr.lo <= lo <= hi <= attr.hi
+
+    def test_range_length_scales_with_theta(self, census_small, rng):
+        lengths = {}
+        for theta in (0.05, 0.25):
+            q = make_query(
+                census_small.schema, lam=1, theta=theta, rng=rng,
+                qi_dims=[0],
+            )
+            (dim, (lo, hi)), = q.qi_ranges
+            lengths[theta] = hi - lo + 1
+        assert lengths[0.25] > lengths[0.05]
+
+    def test_invalid_parameters(self, census_small, rng):
+        with pytest.raises(ValueError):
+            make_query(census_small.schema, lam=0, theta=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            make_query(census_small.schema, lam=9, theta=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            make_query(census_small.schema, lam=1, theta=0.0, rng=rng)
+
+    def test_workload_deterministic(self, census_small):
+        a = make_workload(
+            census_small.schema, 10, 2, 0.1, np.random.default_rng(5)
+        )
+        b = make_workload(
+            census_small.schema, 10, 2, 0.1, np.random.default_rng(5)
+        )
+        assert a == b
+
+    def test_precise_matches_bruteforce(self, census_small, rng):
+        q = make_query(census_small.schema, lam=2, theta=0.1, rng=rng)
+        mask = np.ones(census_small.n_rows, dtype=bool)
+        for dim, (lo, hi) in q.qi_ranges:
+            mask &= (census_small.qi[:, dim] >= lo) & (
+                census_small.qi[:, dim] <= hi
+            )
+        lo, hi = q.sa_range
+        mask &= (census_small.sa >= lo) & (census_small.sa <= hi)
+        assert answer_precise(census_small, q) == int(mask.sum())
+
+    def test_qi_mask_ignores_sa(self, census_small, rng):
+        q = make_query(census_small.schema, lam=1, theta=0.1, rng=rng)
+        assert qi_mask(census_small, q).sum() >= answer_precise(
+            census_small, q
+        )
+
+
+class TestGeneralizedEstimator:
+    def test_exact_on_singleton_classes(self, patients, rng):
+        """With one tuple per EC the uniform assumption is vacuous."""
+        gt = publish(patients, [np.array([i]) for i in range(6)])
+        for _ in range(20):
+            q = make_query(patients.schema, lam=2, theta=0.3, rng=rng)
+            assert answer_generalized(gt, q) == pytest.approx(
+                answer_precise(patients, q)
+            )
+
+    def test_vectorized_matches_reference(self, census_small, rng):
+        pub = burel(census_small, 3.0).published
+        answerer = GeneralizedAnswerer(pub)
+        for _ in range(25):
+            q = make_query(census_small.schema, lam=2, theta=0.1, rng=rng)
+            assert answerer(q) == pytest.approx(answer_generalized(pub, q))
+
+    def test_total_count_preserved_without_predicates(self, census_small):
+        pub = burel(census_small, 3.0).published
+        q = CountQuery(qi_ranges=(), sa_range=(0, 49))
+        assert answer_generalized(pub, q) == pytest.approx(
+            census_small.n_rows
+        )
+
+
+class TestPerturbedEstimator:
+    def test_vectorized_matches_reference(self, census_small, rng):
+        pt = perturb_table(census_small, 4.0, rng=np.random.default_rng(2))
+        answerer = PerturbedAnswerer(pt)
+        for _ in range(25):
+            q = make_query(census_small.schema, lam=2, theta=0.1, rng=rng)
+            assert answerer(q) == pytest.approx(answer_perturbed(pt, q))
+
+    def test_full_domain_query_is_exact(self, census_small, rng):
+        """Summing the reconstruction over the whole SA domain returns
+        the exact QI-filtered count (PM is column-stochastic)."""
+        pt = perturb_table(census_small, 3.0, rng=np.random.default_rng(2))
+        q = make_query(census_small.schema, lam=2, theta=0.2, rng=rng)
+        full = CountQuery(qi_ranges=q.qi_ranges, sa_range=(0, 49))
+        assert answer_perturbed(pt, full) == pytest.approx(
+            float(qi_mask(census_small, full).sum())
+        )
+
+
+class TestAnatomyEstimator:
+    def test_full_domain_query_is_exact(self, census_small, rng):
+        """Over the whole SA range, group masses sum to QI counts."""
+        from repro.anonymity import anatomize
+        from repro.query import AnatomyAnswerer
+
+        published = anatomize(census_small, 4, rng=np.random.default_rng(1))
+        answerer = AnatomyAnswerer(published)
+        q = make_query(census_small.schema, lam=2, theta=0.2, rng=rng)
+        full = CountQuery(qi_ranges=q.qi_ranges, sa_range=(0, 49))
+        assert answerer(full) == pytest.approx(
+            float(qi_mask(census_small, full).sum())
+        )
+
+    def test_more_informed_than_baseline(self, rng):
+        """With QI-SA dependence, local group distributions beat the
+        single global distribution."""
+        from repro.anonymity import anatomize, BaselinePublication
+        from repro.dataset import make_census
+        from repro.query import AnatomyAnswerer, BaselineAnswerer
+
+        table = make_census(
+            20_000, seed=4, correlation=0.9,
+            qi_names=("Age", "Gender", "Education"),
+        )
+        published = anatomize(table, 3, rng=np.random.default_rng(1))
+        anatomy = AnatomyAnswerer(published)
+        baseline = BaselineAnswerer(BaselinePublication(table))
+        queries = make_workload(table.schema, 300, 2, 0.1, rng)
+        precise = np.array([answer_precise(table, q) for q in queries])
+        err_a = median_relative_error(
+            precise, np.array([anatomy(q) for q in queries])
+        )
+        err_b = median_relative_error(
+            precise, np.array([baseline(q) for q in queries])
+        )
+        assert err_a <= err_b + 0.01
+
+
+class TestBaselineEstimator:
+    def test_vectorized_matches_reference(self, census_small, rng):
+        bl = BaselinePublication(census_small)
+        answerer = BaselineAnswerer(bl)
+        for _ in range(25):
+            q = make_query(census_small.schema, lam=2, theta=0.1, rng=rng)
+            assert answerer(q) == pytest.approx(answer_baseline(bl, q))
+
+    def test_exact_when_sa_independent(self, rng):
+        """If SA really is independent of QI, the Baseline is unbiased."""
+        from repro.dataset import Attribute, Schema, SensitiveAttribute, Table
+
+        schema = Schema(
+            [Attribute.numerical("x", 0, 9)],
+            SensitiveAttribute("s", ("a", "b")),
+        )
+        n = 20000
+        qi = rng.integers(0, 10, size=(n, 1))
+        sa = rng.integers(0, 2, size=n)
+        table = Table(schema, qi, sa)
+        bl = BaselinePublication(table)
+        q = CountQuery(qi_ranges=((0, (0, 4)),), sa_range=(0, 0))
+        est = answer_baseline(bl, q)
+        prec = answer_precise(table, q)
+        assert abs(est - prec) / prec < 0.05
+
+
+class TestErrorMetrics:
+    def test_relative_errors_drop_zero_precise(self):
+        errors = relative_errors(np.array([0, 10]), np.array([5.0, 12.0]))
+        assert errors.tolist() == [pytest.approx(0.2)]
+
+    def test_median(self):
+        med = median_relative_error(
+            np.array([10, 10, 10]), np.array([11.0, 12.0, 15.0])
+        )
+        assert med == pytest.approx(0.2)
+
+    def test_all_zero_precise_raises(self):
+        with pytest.raises(ValueError):
+            median_relative_error(np.array([0]), np.array([1.0]))

@@ -1,0 +1,175 @@
+"""Tests for EC materialization (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BetaLikeness,
+    HilbertRetriever,
+    RandomRetriever,
+    beta_eligibility,
+    bi_split,
+    dp_partition,
+)
+from repro.core.retrieve import qi_space_keys
+
+
+@pytest.fixture()
+def census_setup(census_small):
+    model = BetaLikeness(3.0)
+    partition = dp_partition(census_small.sa_distribution(), model, margin=0.5)
+    return census_small, partition
+
+
+class TestQiSpaceKeys:
+    def test_one_key_per_row(self, census_small):
+        keys = qi_space_keys(census_small)
+        assert keys.shape == (census_small.n_rows,)
+
+    def test_identical_tuples_share_keys(self, census_small):
+        keys = qi_space_keys(census_small)
+        qi = census_small.qi
+        same = np.nonzero((qi == qi[0]).all(axis=1))[0]
+        assert len(set(keys[same].tolist())) == 1
+
+
+class TestHilbertRetriever:
+    def test_bucket_sizes_match_table(self, census_setup):
+        table, partition = census_setup
+        retr = HilbertRetriever(table, partition)
+        assert int(retr.bucket_sizes().sum()) == table.n_rows
+
+    def test_materialize_partitions_rows(self, census_setup):
+        table, partition = census_setup
+        retr = HilbertRetriever(table, partition)
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=retr.bucket_sizes(),
+        )
+        groups = retr.materialize(specs)
+        all_rows = np.concatenate(groups)
+        assert len(all_rows) == table.n_rows
+        assert len(np.unique(all_rows)) == table.n_rows
+
+    def test_groups_match_specs(self, census_setup):
+        table, partition = census_setup
+        retr = HilbertRetriever(table, partition)
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=retr.bucket_sizes(),
+        )
+        groups = retr.materialize(specs)
+        bucket_of = partition.bucket_of_value()
+        for spec, rows in zip(specs, groups):
+            got = np.zeros(len(partition), dtype=np.int64)
+            for r in rows:
+                got[bucket_of[int(table.sa[r])]] += 1
+            assert np.array_equal(got, spec)
+
+    def test_wrong_spec_totals_rejected(self, census_setup):
+        table, partition = census_setup
+        retr = HilbertRetriever(table, partition)
+        bad = [np.ones(len(partition), dtype=np.int64)]
+        with pytest.raises(ValueError, match="consume each bucket"):
+            retr.materialize(bad)
+
+    def test_deterministic_without_rng(self, census_setup):
+        table, partition = census_setup
+        specs = None
+        outs = []
+        for _ in range(2):
+            retr = HilbertRetriever(table, partition)
+            if specs is None:
+                specs = bi_split(
+                    partition,
+                    beta_eligibility(partition.f_min),
+                    bucket_sizes=retr.bucket_sizes(),
+                )
+            outs.append(retr.materialize(specs))
+        for a, b in zip(outs[0], outs[1]):
+            assert np.array_equal(np.sort(a), np.sort(b))
+
+    def test_locality_beats_random(self, census_setup):
+        """The Hilbert heuristic must yield tighter boxes than random
+        draws — the §4.5 design goal and our ablation axis."""
+        from repro.dataset.published import publish
+        from repro.metrics import average_information_loss
+
+        table, partition = census_setup
+        retr_h = HilbertRetriever(table, partition)
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=retr_h.bucket_sizes(),
+        )
+        ail_h = average_information_loss(
+            publish(table, retr_h.materialize(specs))
+        )
+        retr_r = RandomRetriever(
+            table, partition, rng=np.random.default_rng(0)
+        )
+        ail_r = average_information_loss(
+            publish(table, retr_r.materialize(specs))
+        )
+        assert ail_h < ail_r
+
+
+class TestAliveOrder:
+    def test_left_right_symmetry(self):
+        from repro.core.retrieve import _AliveOrder
+
+        order = _AliveOrder(5)
+        assert order.find_left(4) == 4
+        assert order.find_right(0) == 0
+        order.kill(2)
+        assert order.find_left(2) == 1
+        assert order.find_right(2) == 3
+        order.kill(1)
+        order.kill(3)
+        assert order.find_left(3) == 0
+        assert order.find_right(1) == 4
+        order.kill(0)
+        assert order.find_left(3) == -1
+        order.kill(4)
+        assert order.find_right(0) == 5
+        assert order.alive == 0
+
+    def test_random_seeded_retrieval_partitions_exactly(self, census_setup):
+        """Regression: random seeds used to exhaust the right frontier
+        and silently duplicate ``rows[-1]``."""
+        table, partition = census_setup
+        retr = HilbertRetriever(
+            table, partition, rng=np.random.default_rng(99)
+        )
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=retr.bucket_sizes(),
+        )
+        groups = retr.materialize(specs)
+        rows = np.concatenate(groups)
+        assert len(rows) == table.n_rows
+        assert len(np.unique(rows)) == table.n_rows
+
+
+class TestRandomRetriever:
+    def test_partitions_rows(self, census_setup):
+        table, partition = census_setup
+        retr = RandomRetriever(table, partition, rng=np.random.default_rng(5))
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=retr.bucket_sizes(),
+        )
+        groups = retr.materialize(specs)
+        rows = np.concatenate(groups)
+        assert len(np.unique(rows)) == table.n_rows
+
+    def test_exhaustion_detected(self, census_setup):
+        table, partition = census_setup
+        retr = RandomRetriever(table, partition)
+        huge = [retr.bucket_sizes() + 1]
+        with pytest.raises(ValueError, match="exhausted"):
+            retr.materialize(huge)

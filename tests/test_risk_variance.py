@@ -1,0 +1,126 @@
+"""Tests for disclosure-risk profiles and reconstruction variance."""
+
+import numpy as np
+import pytest
+
+from repro.core import PerturbationScheme, burel, perturb_table
+from repro.dataset import publish
+from repro.metrics import (
+    attribute_disclosure_risks,
+    reidentification_risks,
+    risk_profile,
+)
+from repro.query import (
+    confidence_interval,
+    estimator_variance,
+    estimator_variance_bound,
+    range_weights,
+)
+
+
+class TestRisk:
+    def test_reid_is_inverse_class_size(self, patients):
+        published = publish(patients, [np.arange(3), np.arange(3, 6)])
+        risks = reidentification_risks(published)
+        assert np.allclose(risks, 1.0 / 3.0)
+
+    def test_attribute_risk_matches_distribution(self, patients):
+        published = publish(patients, [np.arange(6)])
+        risks = attribute_disclosure_risks(published)
+        # Each disease appears once in the single class of six.
+        assert np.allclose(risks, 1.0 / 6.0)
+
+    def test_profile_fields(self, census_small):
+        published = burel(census_small, 3.0).published
+        profile = risk_profile(published, tolerance=0.05)
+        assert 0 < profile.max_reid <= 1
+        assert profile.mean_reid <= profile.max_reid
+        assert profile.mean_attr <= profile.max_attr <= 1
+        assert "reid" in str(profile)
+
+    def test_at_risk_counts_small_classes(self, patients):
+        published = publish(
+            patients, [np.array([0]), np.arange(1, 6)]
+        )
+        profile = risk_profile(published, tolerance=0.5)
+        assert profile.at_risk == 1  # only the singleton class
+
+    def test_bad_tolerance(self, census_small):
+        published = burel(census_small, 3.0).published
+        with pytest.raises(ValueError):
+            risk_profile(published, tolerance=0.0)
+
+    def test_smaller_beta_means_lower_attr_risk_cap(self, census_small):
+        tight = burel(census_small, 1.0).published
+        loose = burel(census_small, 5.0).published
+        assert (
+            risk_profile(tight).max_attr <= risk_profile(loose).max_attr + 0.05
+        )
+
+
+class TestVariance:
+    @pytest.fixture()
+    def scheme(self, census_small):
+        return PerturbationScheme.fit(census_small.sa_distribution(), 4.0)
+
+    def test_weights_solve_transpose_system(self, scheme):
+        w = range_weights(scheme, (0, 9), 50)
+        indicator = np.zeros(scheme.m)
+        lo_hi = np.isin(scheme.domain, np.arange(10))
+        indicator[lo_hi] = 1.0
+        assert np.allclose(scheme.matrix.T @ w, indicator)
+
+    def test_variance_nonnegative(self, scheme, census_small):
+        counts = census_small.sa_counts()
+        var = estimator_variance(scheme, (5, 25), counts)
+        assert var >= 0.0
+
+    def test_variance_scales_with_n(self, scheme, census_small):
+        counts = census_small.sa_counts()
+        assert estimator_variance(scheme, (5, 25), 2 * counts) == (
+            pytest.approx(2 * estimator_variance(scheme, (5, 25), counts))
+        )
+
+    def test_bound_dominates_exact(self, scheme, census_small):
+        counts = census_small.sa_counts()
+        exact = estimator_variance(scheme, (5, 25), counts)
+        bound = estimator_variance_bound(
+            scheme, (5, 25), int(counts.sum()), 50
+        )
+        assert bound >= exact - 1e-9
+
+    def test_full_range_variance_is_zero(self, scheme, census_small):
+        """Summing the reconstruction over the full domain is exact."""
+        counts = census_small.sa_counts()
+        assert estimator_variance(scheme, (0, 49), counts) == (
+            pytest.approx(0.0, abs=1e-6)
+        )
+
+    def test_empirical_variance_matches_analytical(self, census_small):
+        """Monte-Carlo check of the variance formula."""
+        scheme = PerturbationScheme.fit(
+            census_small.sa_distribution(), 4.0
+        )
+        sa_range = (10, 20)
+        counts = census_small.sa_counts()
+        analytical = estimator_variance(scheme, sa_range, counts)
+        w_full = np.zeros(50)
+        w_full[scheme.domain] = range_weights(scheme, sa_range, 50)
+        rng = np.random.default_rng(7)
+        estimates = []
+        for _ in range(120):
+            perturbed = scheme.perturb(census_small.sa, rng)
+            estimates.append(w_full[perturbed].sum())
+        empirical = float(np.var(estimates, ddof=1))
+        assert empirical == pytest.approx(analytical, rel=0.35)
+
+    def test_confidence_interval(self):
+        lo, hi = confidence_interval(100.0, 25.0)
+        assert lo == pytest.approx(100 - 1.96 * 5)
+        assert hi == pytest.approx(100 + 1.96 * 5)
+        with pytest.raises(ValueError):
+            confidence_interval(1.0, -1.0)
+
+    def test_negative_n_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            estimator_variance_bound(scheme, (0, 5), -1, 50)

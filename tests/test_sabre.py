@@ -1,0 +1,78 @@
+"""Tests for the SABRE reimplementation (§6.1 comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import sabre, sabre_partition
+from repro.metrics import measured_t
+
+
+class TestPartition:
+    def test_covers_domain(self, census_small):
+        part = sabre_partition(census_small.sa_distribution(), 0.2)
+        seen = sorted(np.concatenate(part.buckets).tolist())
+        assert seen == list(range(50))
+
+    def test_budget_respected_equal(self, census_small):
+        probs = census_small.sa_distribution()
+        part = sabre_partition(probs, 0.2)
+        slack = sum(
+            probs[b].sum() - probs[b].min() for b in part.buckets
+        )
+        assert slack <= 0.2 + 1e-9
+
+    def test_budget_respected_ordered(self, census_small):
+        probs = census_small.sa_distribution()
+        part = sabre_partition(probs, 0.1, ordered=True)
+        m = probs.shape[0]
+        cost = sum(
+            probs[b].sum() * (int(b.max()) - int(b.min())) / (m - 1)
+            for b in part.buckets
+        )
+        assert cost <= 0.1 + 1e-9
+
+    def test_tighter_budget_more_buckets(self, census_small):
+        probs = census_small.sa_distribution()
+        loose = sabre_partition(probs, 0.4)
+        tight = sabre_partition(probs, 0.05)
+        assert len(tight) >= len(loose)
+
+    def test_invalid_t(self, census_small):
+        with pytest.raises(ValueError):
+            sabre_partition(census_small.sa_distribution(), 0.0)
+
+    def test_empty_distribution(self):
+        with pytest.raises(ValueError):
+            sabre_partition(np.zeros(5), 0.1)
+
+
+class TestSabre:
+    @pytest.mark.parametrize("t", [0.1, 0.2, 0.4])
+    def test_t_closeness_guarantee_equal(self, census_small, t):
+        result = sabre(census_small, t)
+        assert measured_t(result.published) <= t + 1e-9
+
+    @pytest.mark.parametrize("t", [0.05, 0.15])
+    def test_t_closeness_guarantee_ordered(self, census_small, t):
+        result = sabre(census_small, t, ordered=True)
+        assert measured_t(result.published, ordered=True) <= t + 1e-9
+
+    def test_partition_covers_table(self, census_small):
+        result = sabre(census_small, 0.2)
+        rows = np.concatenate([ec.rows for ec in result.published])
+        assert len(np.unique(rows)) == census_small.n_rows
+
+    def test_looser_t_more_classes(self, census_small):
+        tight = sabre(census_small, 0.05)
+        loose = sabre(census_small, 0.4)
+        assert len(loose.published) >= len(tight.published)
+
+    def test_toy_table(self, example2):
+        result = sabre(example2, 0.3)
+        assert measured_t(result.published) <= 0.3 + 1e-9
+
+    def test_result_metadata(self, census_small):
+        result = sabre(census_small, 0.2, ordered=True)
+        assert result.t == 0.2
+        assert result.ordered is True
+        assert result.elapsed_seconds > 0

@@ -1,0 +1,65 @@
+"""Tests for the extended utility metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import burel, perturb_table
+from repro.metrics import (
+    average_information_loss,
+    error_profile,
+    global_certainty_penalty,
+    normalized_certainty_penalty,
+    reconstruction_tv_error,
+)
+
+
+class TestCertaintyPenalties:
+    def test_gcp_equals_ail_with_equal_weights(self, census_small):
+        published = burel(census_small, 3.0).published
+        assert global_certainty_penalty(published) == pytest.approx(
+            average_information_loss(published)
+        )
+
+    def test_ncp_per_class(self, census_small):
+        published = burel(census_small, 3.0).published
+        ncp = normalized_certainty_penalty(published)
+        assert ncp.shape == (len(published),)
+        assert (ncp >= 0).all() and (ncp <= 1).all()
+
+
+class TestErrorProfile:
+    def test_quartiles_ordered(self):
+        precise = np.arange(1, 101, dtype=float)
+        estimates = precise * (1 + np.linspace(0, 0.5, 100))
+        profile = error_profile(precise, estimates)
+        assert profile.p25 <= profile.median <= profile.p75 <= profile.p95
+        assert profile.n_queries == 100
+
+    def test_drops_zero_precise(self):
+        profile = error_profile(
+            np.array([0.0, 10.0]), np.array([3.0, 12.0])
+        )
+        assert profile.n_queries == 1
+        assert profile.median == pytest.approx(0.2)
+
+    def test_all_zero_raises(self):
+        with pytest.raises(ValueError):
+            error_profile(np.zeros(3), np.ones(3))
+
+    def test_str(self):
+        profile = error_profile(np.array([10.0]), np.array([11.0]))
+        assert "median" in str(profile)
+
+
+class TestReconstructionError:
+    def test_error_shrinks_with_beta(self, census_small):
+        low = perturb_table(census_small, 1.0, rng=np.random.default_rng(0))
+        high = perturb_table(census_small, 5.0, rng=np.random.default_rng(0))
+        assert reconstruction_tv_error(high) <= reconstruction_tv_error(low)
+
+    def test_error_in_unit_interval(self, census_small):
+        published = perturb_table(
+            census_small, 3.0, rng=np.random.default_rng(0)
+        )
+        error = reconstruction_tv_error(published)
+        assert 0.0 <= error <= 1.0
