@@ -1,0 +1,145 @@
+"""Engine performance baseline: vectorized materialization + run_many.
+
+Writes ``BENCH_engine.json`` recording rows/sec of the EC
+materialization hot path before (scalar union-find loop) and after
+(batched numpy) the vectorization, plus the shared-preprocessing win of
+``engine.run_many`` over independent runs.  Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--rows 100000] \\
+        [--out benchmarks/BENCH_engine.json]
+
+This is a standalone script (not pytest-collected) so the tier-1 test
+suite's runtime stays flat; CI runs it at a reduced scale to keep the
+perf trajectory recorded per commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BetaLikeness, beta_eligibility, bi_split, dp_partition
+from repro.core.retrieve import HilbertRetriever
+from repro.dataset import DEFAULT_QI, make_census
+from repro.engine import run as engine_run
+from repro.engine import run_many
+
+BETA = 3.0
+
+
+def _time(fn, repeats: int = 3, setup=lambda: ()) -> float:
+    """Best-of-N wall-clock seconds; ``setup`` runs untimed per repeat
+    and its result is passed to ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        args = setup()
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_materialization(table, rng_seed=None) -> dict:
+    """Scalar vs vectorized ``materialize`` on a fixed partition + specs.
+
+    Retriever construction (Hilbert encoding + per-bucket sorting) is
+    identical on both sides and excluded from the timed section; it is
+    reported separately as ``build_seconds``.
+    """
+    partition = dp_partition(
+        table.sa_distribution(), BetaLikeness(BETA), margin=0.5
+    )
+
+    def retriever(vectorized):
+        rng = None if rng_seed is None else np.random.default_rng(rng_seed)
+        return HilbertRetriever(
+            table, partition, rng=rng, vectorized=vectorized
+        )
+
+    build = _time(lambda: retriever(True))
+    probe = retriever(True)
+    specs = bi_split(
+        partition,
+        beta_eligibility(partition.f_min),
+        bucket_sizes=probe.bucket_sizes(),
+    )
+
+    scalar = _time(
+        lambda r: r.materialize(specs), setup=lambda: (retriever(False),)
+    )
+    vectorized = _time(
+        lambda r: r.materialize(specs), setup=lambda: (retriever(True),)
+    )
+
+    groups_fast = retriever(True).materialize(specs)
+    groups_ref = retriever(False).materialize(specs)
+    assert all(
+        np.array_equal(a, b) for a, b in zip(groups_fast, groups_ref)
+    ), "vectorized materialization diverged from the scalar reference"
+
+    return {
+        "mode": "sweep" if rng_seed is None else f"seeded({rng_seed})",
+        "n_classes": len(specs),
+        "build_seconds": round(build, 6),
+        "scalar_seconds": round(scalar, 6),
+        "vectorized_seconds": round(vectorized, 6),
+        "scalar_rows_per_sec": round(table.n_rows / scalar),
+        "vectorized_rows_per_sec": round(table.n_rows / vectorized),
+        "speedup": round(scalar / vectorized, 2),
+    }
+
+
+def bench_run_many(table) -> dict:
+    """Shared preprocessing across a beta sweep vs independent runs."""
+    betas = (1.0, 2.0, 3.0, 4.0)
+    jobs = [("burel", {"beta": b}) for b in betas]
+    individual = _time(
+        lambda: [engine_run("burel", table, beta=b) for b in betas], repeats=2
+    )
+    batched = _time(lambda: run_many(table, jobs), repeats=2)
+    return {
+        "betas": list(betas),
+        "individual_seconds": round(individual, 6),
+        "run_many_seconds": round(batched, 6),
+        "speedup": round(individual / batched, 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=100_000)
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_engine.json"
+    )
+    args = parser.parse_args()
+
+    table = make_census(args.rows, seed=7, qi_names=DEFAULT_QI)
+    report = {
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "rows": args.rows,
+        "beta": BETA,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "materialization": [
+            bench_materialization(table, rng_seed=None),
+            bench_materialization(table, rng_seed=11),
+        ],
+        "run_many": bench_run_many(table),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    sweep = report["materialization"][0]
+    if sweep["speedup"] < 3.0:
+        raise SystemExit(
+            f"regression: sweep materialization speedup {sweep['speedup']}x "
+            "is below the 3x acceptance floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

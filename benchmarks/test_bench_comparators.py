@@ -7,10 +7,10 @@ against Mondrian, and the corruption/composition attack measurements of
 
 import numpy as np
 
-from repro.anonymity import beta_likeness, incognito, lattice_search
 from repro.attacks import composition_attack, corruption_attack
 from repro.core import burel
 from repro.dataset import DEFAULT_QI, make_census
+from repro.engine import run as engine_run
 from repro.metrics import average_information_loss, measured_beta
 
 N = 8_000
@@ -22,10 +22,11 @@ def _table():
 
 def test_bench_incognito_k(benchmark):
     table = _table()
-    result = benchmark(incognito, table, 25)
+    result = benchmark(engine_run, "fulldomain", table, kind="k", k=25)
     print(
-        f"\nincognito(k=25): vector={result.vector} "
-        f"evaluated {result.nodes_evaluated}/{result.lattice_size} nodes, "
+        f"\nincognito(k=25): vector={result.provenance['vector']} "
+        f"evaluated {result.provenance['nodes_evaluated']}"
+        f"/{result.provenance['lattice_size']} nodes, "
         f"AIL={average_information_loss(result.published):.3f}"
     )
     assert min(ec.size for ec in result.published) >= 25
@@ -35,8 +36,9 @@ def test_bench_fulldomain_beta(benchmark):
     """The §2 claim: a full-domain scheme adapted to β-likeness is far
     lossier than the specialized BUREL."""
     table = _table()
-    constraint = beta_likeness(table.sa_distribution(), 4.0)
-    result = benchmark(lattice_search, table, constraint)
+    result = benchmark(
+        engine_run, "fulldomain", table, kind="beta", beta=4.0
+    )
     fd_ail = average_information_loss(result.published)
     burel_ail = average_information_loss(burel(table, 4.0).published)
     print(f"\nfull-domain beta=4: AIL={fd_ail:.3f} vs BUREL {burel_ail:.3f}")

@@ -8,9 +8,9 @@ perturbation + reconstruction path.
 
 import numpy as np
 
-from repro.anonymity import l_mondrian, sabre
-from repro.core import BetaLikeness, burel, dp_partition, perturb_table
+from repro.core import BetaLikeness, dp_partition
 from repro.dataset import DEFAULT_QI, make_census
+from repro.engine import run as engine_run
 from repro.hilbert import hilbert_encode
 from repro.query import PerturbedAnswerer, make_workload
 
@@ -33,19 +33,19 @@ def test_bench_dp_partition(benchmark):
 
 def test_bench_burel_end_to_end(benchmark):
     table = make_census(N, seed=7, qi_names=DEFAULT_QI)
-    result = benchmark(burel, table, 4.0)
+    result = benchmark(engine_run, "burel", table, beta=4.0)
     assert len(result.published) > 1
 
 
 def test_bench_l_mondrian(benchmark):
     table = make_census(N, seed=7, qi_names=DEFAULT_QI)
-    result = benchmark(l_mondrian, table, 4.0)
+    result = benchmark(engine_run, "mondrian", table, beta=4.0)
     assert len(result.published) >= 1
 
 
 def test_bench_sabre(benchmark):
     table = make_census(N, seed=7, qi_names=DEFAULT_QI)
-    result = benchmark(sabre, table, 0.2)
+    result = benchmark(engine_run, "sabre", table, t=0.2)
     assert len(result.published) >= 1
 
 
@@ -56,9 +56,9 @@ def test_bench_perturb_and_answer(benchmark):
     )
 
     def run():
-        perturbed = perturb_table(
-            table, 4.0, rng=np.random.default_rng(1)
-        )
+        perturbed = engine_run(
+            "perturb", table, beta=4.0, rng=np.random.default_rng(1)
+        ).published
         answer = PerturbedAnswerer(perturbed)
         return [answer(q) for q in queries]
 

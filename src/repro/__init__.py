@@ -15,8 +15,16 @@ Quickstart::
     table = make_census(20_000, seed=7)
     result = burel(table, beta=4.0)
     print(average_information_loss(result.published))
+
+All schemes are also reachable through the unified staged engine::
+
+    from repro.engine import run
+
+    result = run("burel", table, beta=4.0)   # or sabre/mondrian/...
+    print(result.stage_seconds)
 """
 
+from . import engine
 from .core import (
     BetaLikeness,
     BurelResult,
@@ -41,6 +49,7 @@ from .metrics import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "engine",
     "BetaLikeness",
     "BurelResult",
     "PerturbationScheme",

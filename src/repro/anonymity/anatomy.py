@@ -20,7 +20,6 @@ residual tuples join existing groups that lack their SA value.
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,31 +76,16 @@ class AnatomyTable:
         return len(self.groups)
 
 
-def anatomize(
+def anatomy_row_groups(
     table: Table, l: int, rng: np.random.Generator | None = None
-) -> AnatomyTable:
-    """Partition ``table`` into ℓ-diverse Anatomy groups.
+) -> list[list[int]]:
+    """Xiao & Tao's grouping phase: row indices of each ℓ-diverse group.
 
-    Args:
-        table: The microdata to publish.
-        l: Diversity parameter; each group receives ℓ tuples of ℓ
-            distinct SA values (residuals may join earlier groups, which
-            keeps every group ℓ-diverse).
-        rng: Optional generator; shuffles tuples within each SA-value
-            bucket so group membership is not order-dependent.
-
-    Raises:
-        ValueError: If the table is not ℓ-eligible (some SA value is more
-            frequent than ``1/l``, Xiao & Tao's feasibility condition).
+    This is the engine's ``partition`` stage; :func:`anatomize` wraps it
+    with eligibility checking and output assembly.
     """
-    if l < 2:
-        raise ValueError("l must be >= 2")
-    counts = table.sa_counts()
-    if int(counts.max()) * l > table.n_rows:
-        raise ValueError(
-            f"table is not {l}-eligible: an SA value exceeds frequency 1/{l}"
-        )
     rng = rng or np.random.default_rng(0)
+    counts = table.sa_counts()
 
     pools: dict[int, list[int]] = {}
     for value in np.nonzero(counts)[0]:
@@ -145,7 +129,23 @@ def anatomize(
                     "anatomize failed to place a residual tuple; "
                     "eligibility check should have prevented this"
                 )
+    return group_rows
 
+
+def check_eligibility(table: Table, l: int) -> None:
+    """Raise unless ``table`` satisfies Xiao & Tao's ℓ-eligibility."""
+    if l < 2:
+        raise ValueError("l must be >= 2")
+    if int(table.sa_counts().max()) * l > table.n_rows:
+        raise ValueError(
+            f"table is not {l}-eligible: an SA value exceeds frequency 1/{l}"
+        )
+
+
+def assemble_anatomy(
+    table: Table, group_rows: list[list[int]], l: int
+) -> AnatomyTable:
+    """Build the :class:`AnatomyTable` publication from row groups."""
     m = table.sa_cardinality
     groups = tuple(
         AnatomyGroup(
@@ -155,6 +155,29 @@ def anatomize(
         for rows in group_rows
     )
     return AnatomyTable(source=table, groups=groups, l=l)
+
+
+def anatomize(
+    table: Table, l: int, rng: np.random.Generator | None = None
+) -> AnatomyTable:
+    """Partition ``table`` into ℓ-diverse Anatomy groups.
+
+    Args:
+        table: The microdata to publish.
+        l: Diversity parameter; each group receives ℓ tuples of ℓ
+            distinct SA values (residuals may join earlier groups, which
+            keeps every group ℓ-diverse).
+        rng: Optional generator; shuffles tuples within each SA-value
+            bucket so group membership is not order-dependent
+            (``None`` falls back to a fixed seed, so the default is
+            deterministic).
+
+    Raises:
+        ValueError: If the table is not ℓ-eligible (some SA value is more
+            frequent than ``1/l``, Xiao & Tao's feasibility condition).
+    """
+    check_eligibility(table, l)
+    return assemble_anatomy(table, anatomy_row_groups(table, l, rng), l)
 
 
 @dataclass
@@ -168,9 +191,10 @@ class AnatomyResult:
 def anatomy(
     table: Table, l: int, rng: np.random.Generator | None = None
 ) -> AnatomyResult:
-    """Timed convenience wrapper around :func:`anatomize`."""
-    start = time.perf_counter()
-    published = anatomize(table, l, rng=rng)
+    """Timed convenience wrapper, routed through the staged engine."""
+    from ..engine import run as engine_run
+
+    result = engine_run("anatomy", table, rng=rng, l=l)
     return AnatomyResult(
-        published=published, elapsed_seconds=time.perf_counter() - start
+        published=result.published, elapsed_seconds=result.elapsed_seconds
     )

@@ -31,7 +31,6 @@ Components:
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -208,20 +207,16 @@ def _satisfies(
     )
 
 
-def lattice_search(
+def minimal_satisfying_vectors(
     table: Table,
     constraint: ECConstraint,
-    ladders: list[GeneralizationLadder] | None = None,
-) -> FullDomainResult:
-    """Find all minimal satisfying level vectors (Incognito semantics).
+    ladders: list[GeneralizationLadder],
+) -> tuple[list[tuple[int, ...]], int, int]:
+    """Bottom-up lattice BFS: ``(minimal vectors, evaluated, lattice size)``.
 
-    Bottom-up BFS by total level; passing vectors propagate to all
-    ancestors without re-evaluation (generalization monotonicity), and
-    the search stops once every frontier node is known.
+    This is the engine's ``partition`` stage; :func:`lattice_search`
+    wraps it with ladder defaults and publication of the best vector.
     """
-    start = time.perf_counter()
-    if ladders is None:
-        ladders = default_ladders(table.schema)
     level_counts = [ladder.n_levels for ladder in ladders]
     all_vectors = list(itertools.product(*(range(c) for c in level_counts)))
     lattice_size = len(all_vectors)
@@ -265,8 +260,15 @@ def lattice_search(
         return True
 
     minimal = sorted(v for v in satisfying if is_minimal(v))
+    return minimal, evaluated, lattice_size
 
-    # Among minimal vectors, publish the one with the least AIL.
+
+def publish_least_loss(
+    table: Table,
+    ladders: list[GeneralizationLadder],
+    minimal: list[tuple[int, ...]],
+) -> tuple[tuple[int, ...], GeneralizedTable]:
+    """Among minimal vectors, publish the one with the least AIL."""
     from ..metrics.loss import average_information_loss
 
     best_vector, best_published, best_ail = None, None, float("inf")
@@ -275,13 +277,34 @@ def lattice_search(
         ail = average_information_loss(published)
         if ail < best_ail:
             best_vector, best_published, best_ail = vector, published, ail
+    return best_vector, best_published
+
+
+def lattice_search(
+    table: Table,
+    constraint: ECConstraint,
+    ladders: list[GeneralizationLadder] | None = None,
+) -> FullDomainResult:
+    """Find all minimal satisfying level vectors (Incognito semantics).
+
+    Bottom-up BFS by total level; passing vectors propagate to all
+    ancestors without re-evaluation (generalization monotonicity), and
+    the search stops once every frontier node is known.  Routed through
+    the staged engine (``repro.engine``); this wrapper keeps the
+    historical call shape and result type.
+    """
+    from ..engine import run as engine_run
+
+    result = engine_run(
+        "fulldomain", table, constraint=constraint, ladders=ladders
+    )
     return FullDomainResult(
-        published=best_published,
-        vector=best_vector,
-        minimal_vectors=minimal,
-        nodes_evaluated=evaluated,
-        lattice_size=lattice_size,
-        elapsed_seconds=time.perf_counter() - start,
+        published=result.published,
+        vector=result.provenance["vector"],
+        minimal_vectors=result.provenance["minimal_vectors"],
+        nodes_evaluated=result.provenance["nodes_evaluated"],
+        lattice_size=result.provenance["lattice_size"],
+        elapsed_seconds=result.elapsed_seconds,
     )
 
 

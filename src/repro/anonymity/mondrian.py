@@ -20,12 +20,11 @@ node by the EC box constructor).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..dataset.published import GeneralizedTable, publish
+from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 from .constraints import (
     ECConstraint,
@@ -46,10 +45,37 @@ class MondrianResult:
     elapsed_seconds: float
 
 
+def mondrian_groups(
+    table: Table, constraint: ECConstraint, try_all_dims: bool = False
+) -> list[np.ndarray]:
+    """The Mondrian partitioning phase: row-index groups for the ECs.
+
+    This is the engine's ``partition`` stage; :func:`mondrian` wraps it
+    with publishing and timing.
+    """
+    m = table.sa_cardinality
+    widths = np.array(
+        [max(attr.width, 1) for attr in table.schema.qi], dtype=float
+    )
+    groups: list[np.ndarray] = []
+    stack: list[np.ndarray] = [np.arange(table.n_rows, dtype=np.int64)]
+    while stack:
+        rows = stack.pop()
+        cut = _find_cut(table, rows, widths, constraint, m, try_all_dims)
+        if cut is None:
+            groups.append(rows)
+        else:
+            stack.extend(cut)
+    return groups
+
+
 def mondrian(
     table: Table, constraint: ECConstraint, try_all_dims: bool = False
 ) -> MondrianResult:
     """Partition ``table`` top-down under ``constraint``.
+
+    Routed through the staged engine (``repro.engine``); this wrapper
+    keeps the historical call shape and result type.
 
     Args:
         table: The microdata to publish.
@@ -70,28 +96,15 @@ def mondrian(
     Returns:
         A :class:`MondrianResult` with the published classes.
     """
-    if table.n_rows == 0:
-        raise ValueError("cannot anonymize an empty table")
-    start = time.perf_counter()
-    m = table.sa_cardinality
-    widths = np.array(
-        [max(attr.width, 1) for attr in table.schema.qi], dtype=float
-    )
+    from ..engine import run as engine_run
 
-    groups: list[np.ndarray] = []
-    stack: list[np.ndarray] = [np.arange(table.n_rows, dtype=np.int64)]
-    while stack:
-        rows = stack.pop()
-        cut = _find_cut(table, rows, widths, constraint, m, try_all_dims)
-        if cut is None:
-            groups.append(rows)
-        else:
-            stack.extend(cut)
-    published = publish(table, groups)
+    result = engine_run(
+        "mondrian", table, constraint=constraint, try_all_dims=try_all_dims
+    )
     return MondrianResult(
-        published=published,
-        constraint=constraint,
-        elapsed_seconds=time.perf_counter() - start,
+        published=result.published,
+        constraint=result.provenance["constraint"],
+        elapsed_seconds=result.elapsed_seconds,
     )
 
 

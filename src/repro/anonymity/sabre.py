@@ -30,16 +30,13 @@ reuses BUREL's machinery with the matching eligibility predicate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.bucketize import BucketPartition
-from ..core.ectree import build_ectree
 from ..core.model import TOLERANCE
-from ..core.retrieve import HilbertRetriever
-from ..dataset.published import GeneralizedTable, publish
+from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 
 
@@ -195,25 +192,17 @@ def sabre(
     Returns:
         A :class:`SabreResult`; the published classes satisfy
         ``EMD(P, Q) <= t`` for every EC by the worst-case bound.
+
+    Routed through the staged engine (``repro.engine``); this wrapper
+    keeps the historical call shape and result type.
     """
-    if table.n_rows == 0:
-        raise ValueError("cannot anonymize an empty table")
-    start = time.perf_counter()
-    probs = table.sa_distribution()
-    partition = sabre_partition(probs, t, ordered=ordered)
-    retriever = HilbertRetriever(table, partition, rng=rng)
-    tree = build_ectree(
-        retriever.bucket_sizes(),
-        emd_eligibility(partition, t, ordered, table.sa_cardinality),
-        f_min=partition.f_min,
-        balanced=True,
-    )
-    groups = retriever.materialize(tree.specs)
-    published = publish(table, groups)
+    from ..engine import run as engine_run
+
+    result = engine_run("sabre", table, rng=rng, t=t, ordered=ordered)
     return SabreResult(
-        published=published,
-        partition=partition,
+        published=result.published,
+        partition=result.provenance["partition"],
         t=t,
         ordered=ordered,
-        elapsed_seconds=time.perf_counter() - start,
+        elapsed_seconds=result.elapsed_seconds,
     )

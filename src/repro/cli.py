@@ -4,14 +4,23 @@ Usage::
 
     python -m repro.cli generalize data.csv --qi Age,Gender,Zip \\
         --numerical Age,Zip --sensitive Disease --beta 2 -o out.csv
+    python -m repro.cli generalize data.csv --qi Age --numerical Age \\
+        --sensitive Disease --algorithm mondrian --beta 2 -o out.csv
     python -m repro.cli perturb data.csv --qi Age --numerical Age \\
         --sensitive Disease --beta 2 -o out.csv
 
-``generalize`` runs BUREL and writes one row per tuple with generalized
-QI cells; ``perturb`` runs the Section 5 randomized-response scheme and
-writes exact QI cells with randomized sensitive values plus a JSON
-sidecar carrying the transition matrix.  Both print the measured privacy
-of the publication.
+``generalize`` runs a generalization scheme from the engine registry
+(BUREL by default; ``--algorithm`` selects sabre/mondrian/fulldomain)
+and writes one row per tuple with generalized QI cells; ``perturb`` runs
+the Section 5 randomized-response scheme and writes exact QI cells with
+randomized sensitive values plus a JSON sidecar carrying the transition
+matrix.  Both print the measured privacy of the publication and the
+engine's per-stage timings.
+
+``--seed`` feeds the engine's uniform rng parameter: omitted means the
+algorithm's deterministic behaviour (e.g. BUREL's Hilbert sweep); given,
+it seeds the randomized variant (seed tuples for BUREL, the response
+randomization for ``perturb``).
 
 Categorical QI columns get flat hierarchies from their observed values;
 for domain hierarchies, use the library API instead.
@@ -24,9 +33,12 @@ import sys
 
 import numpy as np
 
-from .core import burel, perturb_table
+from .engine import run as engine_run
 from .io import load_csv_table, write_generalized_csv, write_perturbed_csv
 from .metrics import average_information_loss, privacy_profile
+
+#: Registry algorithms whose output format ``generalize`` can write.
+GENERALIZERS = ("burel", "sabre", "mondrian", "fulldomain")
 
 
 def _add_io_args(parser: argparse.ArgumentParser) -> None:
@@ -48,19 +60,59 @@ def _add_io_args(parser: argparse.ArgumentParser) -> None:
         help="use basic beta-likeness (Definition 2) instead of enhanced",
     )
     parser.add_argument("-o", "--output", required=True)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="rng seed; omit for the deterministic variant",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
-    for name in ("generalize", "perturb"):
-        _add_io_args(sub.add_parser(name))
+    generalize = sub.add_parser("generalize")
+    _add_io_args(generalize)
+    generalize.add_argument(
+        "--algorithm", choices=GENERALIZERS, default="burel",
+        help="generalization scheme from the engine registry",
+    )
+    generalize.add_argument(
+        "--t", type=float, default=0.2,
+        help="closeness threshold (sabre only)",
+    )
+    _add_io_args(sub.add_parser("perturb"))
     return parser
 
 
 def _split(arg: str) -> list[str]:
     return [part for part in arg.split(",") if part]
+
+
+def _generalize_params(args: argparse.Namespace) -> dict:
+    """Engine parameters for the selected generalization algorithm.
+
+    Flags that do not apply to the selected algorithm are called out
+    rather than silently ignored.
+    """
+    enhanced = not args.basic
+    if args.algorithm in ("mondrian", "fulldomain") and args.seed is not None:
+        print(f"note: --seed has no effect; {args.algorithm} is deterministic")
+    if args.algorithm == "burel":
+        return {"beta": args.beta, "enhanced": enhanced}
+    if args.algorithm == "sabre":
+        if args.beta != 2.0 or args.basic:
+            print("note: --beta/--basic have no effect for sabre; use --t")
+        return {"t": args.t}
+    # mondrian / fulldomain run with the beta-likeness constraint so the
+    # beta flag means the same thing across algorithms.
+    return {"kind": "beta", "beta": args.beta, "enhanced": enhanced}
+
+
+def _print_stages(result) -> None:
+    stages = "  ".join(
+        f"{name}={seconds:.3f}s"
+        for name, seconds in result.stage_seconds.items()
+    )
+    print(f"stages: {stages}")
 
 
 def run(argv: list[str] | None = None) -> int:
@@ -76,22 +128,28 @@ def run(argv: list[str] | None = None) -> int:
           f"{table.sa_cardinality} sensitive values")
 
     if args.command == "generalize":
-        result = burel(table, args.beta, enhanced=not args.basic)
+        result = engine_run(
+            args.algorithm, table, rng=args.seed, **_generalize_params(args)
+        )
         write_generalized_csv(result.published, args.output)
         print(f"published {len(result.published)} equivalence classes "
               f"-> {args.output}")
+        _print_stages(result)
         print(f"measured privacy: {privacy_profile(result.published)}")
         print(f"average information loss: "
               f"{average_information_loss(result.published):.4f}")
     else:
-        published = perturb_table(
-            table, args.beta, enhanced=not args.basic,
-            rng=np.random.default_rng(args.seed),
+        seed = args.seed if args.seed is not None else 0
+        result = engine_run(
+            "perturb", table,
+            rng=np.random.default_rng(seed),
+            beta=args.beta, enhanced=not args.basic,
         )
-        write_perturbed_csv(published, args.output)
+        write_perturbed_csv(result.published, args.output)
         print(f"perturbed table -> {args.output} (+ .json sidecar)")
+        _print_stages(result)
         print(f"sensitive values kept intact: "
-              f"{published.retention_rate():.2%}")
+              f"{result.published.retention_rate():.2%}")
     return 0
 
 

@@ -16,17 +16,14 @@ member value's in-EC frequency (Theorem 1's proof).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..dataset.published import GeneralizedTable, publish
+from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
-from .bucketize import BucketPartition, dp_partition, greedy_partition
-from .ectree import beta_eligibility, bi_split
+from .bucketize import BucketPartition
 from .model import BetaLikeness
-from .retrieve import HilbertRetriever, RandomRetriever
 
 
 @dataclass
@@ -76,47 +73,36 @@ def burel(
             together with ``balanced_split`` and ``margin=0`` for the
             paper-verbatim pipeline.
         rng: Optional generator; with the Hilbert retriever it randomizes
-            seed tuples as the paper describes (deterministic sweep when
-            omitted), with the random retriever it shuffles draws.
+            seed tuples as the paper describes, with the random retriever
+            it shuffles draws.  ``None`` means deterministic for both
+            retrievers (sweep / row-order draws respectively).
 
     Returns:
         A :class:`BurelResult`; ``result.published`` is the
         :class:`~repro.dataset.published.GeneralizedTable`.
+
+    This wrapper routes through the staged engine (``repro.engine``),
+    which is the single implementation path; it keeps the historical
+    call shape and result type.
     """
-    if table.n_rows == 0:
-        raise ValueError("cannot anonymize an empty table")
-    start = time.perf_counter()
-    model = BetaLikeness(beta, enhanced=enhanced)
-    probs = table.sa_distribution()
+    from ..engine import run as engine_run
 
-    if bucketizer == "dp":
-        partition = dp_partition(probs, model, margin=margin)
-    elif bucketizer == "greedy":
-        partition = greedy_partition(probs, model)
-    else:
-        raise ValueError(f"unknown bucketizer {bucketizer!r}")
-
-    if retriever == "hilbert":
-        retr = HilbertRetriever(table, partition, rng=rng)
-    elif retriever == "random":
-        retr = RandomRetriever(table, partition, rng=rng)
-    else:
-        raise ValueError(f"unknown retriever {retriever!r}")
-
-    specs = bi_split(
-        partition,
-        eligible=beta_eligibility(partition.f_min),
-        bucket_sizes=retr.bucket_sizes(),
-        balanced=balanced_split,
+    result = engine_run(
+        "burel",
+        table,
+        rng=rng,
+        beta=beta,
+        enhanced=enhanced,
+        bucketizer=bucketizer,
+        retriever=retriever,
+        margin=margin,
+        balanced_split=balanced_split,
         separate=separate,
     )
-    groups = retr.materialize(specs)
-    published = publish(table, groups)
-    elapsed = time.perf_counter() - start
     return BurelResult(
-        published=published,
-        partition=partition,
-        specs=specs,
-        model=model,
-        elapsed_seconds=elapsed,
+        published=result.published,
+        partition=result.provenance["partition"],
+        specs=result.provenance["specs"],
+        model=result.provenance["model"],
+        elapsed_seconds=result.elapsed_seconds,
     )

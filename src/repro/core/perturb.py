@@ -228,9 +228,13 @@ def perturb_table(
 
     Returns a :class:`PerturbedTable` whose SA column is randomized so
     that adversarial posterior confidence in any value ``v_i`` is at most
-    ``f(p_i)`` (Theorem 3).
+    ``f(p_i)`` (Theorem 3).  ``rng=None`` falls back to a fixed seed, so
+    the default is deterministic.
+
+    Routed through the staged engine (``repro.engine``); this wrapper
+    keeps the historical call shape.
     """
-    rng = rng or np.random.default_rng(0)
-    scheme = PerturbationScheme.fit(table.sa_distribution(), beta, enhanced=enhanced)
-    sa_new = scheme.perturb(table.sa, rng)
-    return PerturbedTable(source=table, sa_perturbed=sa_new, scheme=scheme)
+    from ..engine import run as engine_run
+
+    result = engine_run("perturb", table, rng=rng, beta=beta, enhanced=enhanced)
+    return result.published

@@ -4,6 +4,12 @@ Every ``figN``/``tableN`` module exposes ``run(config) -> ExperimentResult``;
 this module supplies the configuration record, the result container with
 text/markdown rendering, and the binary searches Fig. 4 needs to match
 privacy or information-loss levels across algorithms.
+
+Algorithm dispatch goes through the staged engine: ``run_algorithm`` /
+``run_algorithms`` (re-exported from :mod:`repro.engine`) give
+experiments uniform access to any registered scheme with per-stage
+timings, and :class:`~repro.engine.batch.PreparedTable` shares per-table
+preprocessing across a sweep.
 """
 
 from __future__ import annotations
@@ -16,6 +22,22 @@ import numpy as np
 
 from ..dataset import CENSUS_QI_ORDER, make_census
 from ..dataset.table import Table
+from ..engine import EngineJob, PreparedTable, RunResult
+from ..engine import run as run_algorithm
+from ..engine import run_many as run_algorithms
+
+__all__ = [
+    "EngineJob",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PreparedTable",
+    "RunResult",
+    "add_common_args",
+    "config_from_args",
+    "run_algorithm",
+    "run_algorithms",
+    "search_monotone",
+]
 
 
 @dataclass(frozen=True)

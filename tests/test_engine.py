@@ -1,0 +1,321 @@
+"""Tests for the unified staged anonymization engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import BetaLikeness, burel
+from repro.core.retrieve import HilbertRetriever, RandomRetriever
+from repro.dataset import DEFAULT_QI, make_census
+from repro.engine import (
+    STAGES,
+    EngineJob,
+    PreparedTable,
+    RunResult,
+    algorithm_names,
+    run,
+    run_many,
+)
+from repro.metrics import measured_beta, measured_t
+
+
+@pytest.fixture(scope="module")
+def census_tiny():
+    """A small random table every algorithm (incl. fulldomain) can chew."""
+    return make_census(1_500, seed=3, qi_names=DEFAULT_QI)
+
+
+class TestRegistry:
+    def test_all_six_algorithms_registered(self):
+        assert algorithm_names() == [
+            "anatomy", "burel", "fulldomain", "mondrian", "perturb", "sabre",
+        ]
+
+    def test_unknown_algorithm_rejected(self, census_tiny):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run("nope", census_tiny)
+
+    def test_unknown_parameter_rejected(self, census_tiny):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            run("burel", census_tiny, betta=2.0)
+
+    def test_empty_table_rejected(self, census_tiny):
+        empty = census_tiny.subset(np.array([], dtype=np.int64))
+        for name in algorithm_names():
+            with pytest.raises(ValueError, match="empty table"):
+                run(name, empty)
+
+
+class TestRunResult:
+    @pytest.mark.parametrize("name", ["burel", "sabre", "mondrian"])
+    def test_uniform_shape(self, census_tiny, name):
+        result = run(name, census_tiny)
+        assert isinstance(result, RunResult)
+        assert result.algorithm == name
+        assert result.elapsed_seconds > 0
+        assert list(result.stage_seconds) == [
+            s for s in STAGES if s in result.stage_seconds
+        ], "stage timings must follow canonical order"
+        assert result.elapsed_seconds >= sum(result.stage_seconds.values()) - 1e-6
+
+    def test_burel_provenance(self, census_tiny):
+        result = run("burel", census_tiny, beta=2.0)
+        assert set(result.stage_seconds) == set(STAGES)
+        assert "partition" in result.provenance
+        assert "specs" in result.provenance
+        assert isinstance(result.provenance["model"], BetaLikeness)
+        assert result.params["beta"] == 2.0
+        assert len(result.provenance["specs"]) == len(result.published)
+
+    def test_int_seed_accepted(self, census_tiny):
+        a = run("burel", census_tiny, rng=5)
+        b = run("burel", census_tiny, rng=np.random.default_rng(5))
+        rows_a = [ec.rows for ec in a.published]
+        rows_b = [ec.rows for ec in b.published]
+        for ra, rb in zip(rows_a, rows_b):
+            assert np.array_equal(ra, rb)
+
+
+class TestPrivacyGuarantees:
+    """Every registered algorithm's output satisfies its own model."""
+
+    def test_burel_beta_likeness(self, census_tiny):
+        result = run("burel", census_tiny, beta=2.0)
+        assert measured_beta(result.published) <= 2.0 + 1e-9
+
+    def test_sabre_t_closeness(self, census_tiny):
+        result = run("sabre", census_tiny, t=0.15)
+        assert measured_t(result.published) <= 0.15 + 1e-9
+
+    def test_mondrian_beta_likeness(self, census_tiny):
+        result = run("mondrian", census_tiny, beta=3.0)
+        assert measured_beta(result.published) <= 3.0 + 1e-9
+
+    def test_fulldomain_beta_likeness(self, census_tiny):
+        result = run("fulldomain", census_tiny, kind="beta", beta=4.0)
+        assert measured_beta(result.published) <= 4.0 + 1e-9
+
+    def test_anatomy_l_diversity(self, census_tiny):
+        result = run("anatomy", census_tiny, l=2)
+        assert all(
+            group.sa_distribution().max() <= 0.5 + 1e-9
+            or np.count_nonzero(group.sa_counts) >= 2
+            for group in result.published.groups
+        )
+        assert min(
+            np.count_nonzero(g.sa_counts) for g in result.published.groups
+        ) >= 2
+
+    def test_perturb_transition_guarantee(self, census_tiny):
+        result = run("perturb", census_tiny, beta=2.0)
+        scheme = result.provenance["scheme"]
+        # Column-stochastic transition matrix ...
+        np.testing.assert_allclose(scheme.matrix.sum(axis=0), 1.0)
+        # ... whose per-row transition ratios obey Theorem 2's gamma
+        # bound (the (rho1, rho2)-privacy mechanics).
+        for i in range(scheme.m):
+            row = scheme.matrix[i]
+            assert row.max() / row.min() <= scheme.gammas[i] + 1e-9
+
+
+class TestLegacyEquivalence:
+    """Engine-routed BUREL is byte-identical to the legacy burel() call."""
+
+    @pytest.mark.parametrize("rng_seed", [None, 11])
+    def test_burel_identical(self, census_small, rng_seed):
+        def rng():
+            return None if rng_seed is None else np.random.default_rng(rng_seed)
+
+        legacy = burel(census_small, 2.0, rng=rng())
+        routed = run("burel", census_small, beta=2.0, rng=rng())
+        assert len(legacy.published) == len(routed.published)
+        for a, b in zip(legacy.published, routed.published):
+            assert np.array_equal(a.rows, b.rows)
+            assert a.box == b.box
+            assert np.array_equal(a.sa_counts, b.sa_counts)
+
+    @pytest.mark.parametrize("rng_seed", [None, 7])
+    def test_vectorized_matches_scalar_reference(self, census_small, rng_seed):
+        from repro.core import beta_eligibility, bi_split, dp_partition
+
+        partition = dp_partition(
+            census_small.sa_distribution(), BetaLikeness(3.0), margin=0.5
+        )
+
+        def retr(vectorized):
+            rng = None if rng_seed is None else np.random.default_rng(rng_seed)
+            return HilbertRetriever(
+                census_small, partition, rng=rng, vectorized=vectorized
+            )
+
+        fast = retr(True)
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=fast.bucket_sizes(),
+        )
+        for a, b in zip(
+            fast.materialize(specs), retr(False).materialize(specs)
+        ):
+            assert np.array_equal(a, b)
+
+
+class TestRngContract:
+    """``rng=None`` means deterministic for every retriever."""
+
+    def test_random_retriever_none_is_deterministic(self, census_small):
+        from repro.core import beta_eligibility, bi_split, dp_partition
+
+        partition = dp_partition(
+            census_small.sa_distribution(), BetaLikeness(3.0), margin=0.5
+        )
+        outs = []
+        specs = None
+        for _ in range(2):
+            retr = RandomRetriever(census_small, partition, rng=None)
+            if specs is None:
+                specs = bi_split(
+                    partition,
+                    beta_eligibility(partition.f_min),
+                    bucket_sizes=retr.bucket_sizes(),
+                )
+            outs.append(retr.materialize(specs))
+        for a, b in zip(outs[0], outs[1]):
+            assert np.array_equal(a, b)
+
+    def test_random_retriever_shuffles_with_rng(self, census_small):
+        from repro.core import beta_eligibility, bi_split, dp_partition
+
+        partition = dp_partition(
+            census_small.sa_distribution(), BetaLikeness(3.0), margin=0.5
+        )
+        plain = RandomRetriever(census_small, partition, rng=None)
+        specs = bi_split(
+            partition,
+            beta_eligibility(partition.f_min),
+            bucket_sizes=plain.bucket_sizes(),
+        )
+        seeded = RandomRetriever(
+            census_small, partition, rng=np.random.default_rng(1)
+        )
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(plain.materialize(specs), seeded.materialize(specs))
+        )
+
+
+class TestRunMany:
+    def test_matches_individual_runs(self, census_tiny):
+        jobs = [
+            EngineJob("burel", {"beta": 2.0}),
+            EngineJob("burel", {"beta": 4.0}),
+            EngineJob("mondrian", {"beta": 2.0}),
+        ]
+        batch = run_many(census_tiny, jobs)
+        for job, result in zip(jobs, batch):
+            solo = run(job.algorithm, census_tiny, **dict(job.params))
+            assert len(result.published) == len(solo.published)
+            for a, b in zip(result.published, solo.published):
+                assert np.array_equal(a.rows, b.rows)
+
+    def test_tuple_shorthand(self, census_tiny):
+        results = run_many(census_tiny, [("perturb", {"beta": 2.0})])
+        assert results[0].algorithm == "perturb"
+
+    def test_shared_preprocessing_computed_once(self, census_tiny, monkeypatch):
+        import repro.engine.batch as batch_mod
+
+        calls = {"keys": 0}
+        real = batch_mod.qi_space_keys
+
+        def counting(table):
+            calls["keys"] += 1
+            return real(table)
+
+        monkeypatch.setattr(batch_mod, "qi_space_keys", counting)
+        run_many(
+            census_tiny,
+            [("burel", {"beta": b}) for b in (1.0, 2.0, 4.0)],
+        )
+        assert calls["keys"] == 1
+
+    def test_bad_table_index_rejected(self, census_tiny):
+        with pytest.raises(ValueError, match="references table"):
+            run_many(census_tiny, [EngineJob("burel", table=1)])
+
+    def test_mismatched_shared_table_rejected(self, census_tiny):
+        other = make_census(500, seed=5, qi_names=DEFAULT_QI)
+        with pytest.raises(ValueError, match="different table"):
+            run("burel", other, shared=PreparedTable(census_tiny))
+
+    def test_prepared_table_row_bucket_memoized(self, census_tiny):
+        from repro.core import dp_partition
+
+        prepared = PreparedTable(census_tiny)
+        partition = dp_partition(
+            census_tiny.sa_distribution(), BetaLikeness(2.0), margin=0.5
+        )
+        a = prepared.row_buckets(partition)
+        b = prepared.row_buckets(partition)
+        assert a is b
+
+
+class TestCliIntegration:
+    def test_seed_is_forwarded_to_engine(self, monkeypatch, tmp_path):
+        import csv
+
+        from repro import cli
+
+        path = tmp_path / "data.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["Age", "Disease"])
+            rows = [(20 + i, "flu" if i % 3 else "cold") for i in range(30)]
+            writer.writerows(rows)
+
+        seen = {}
+        real_run = cli.engine_run
+
+        def spy(name, table, *, rng=None, **params):
+            seen["algorithm"] = name
+            seen["rng"] = rng
+            return real_run(name, table, rng=rng, **params)
+
+        monkeypatch.setattr(cli, "engine_run", spy)
+        code = cli.run(
+            [
+                "generalize", str(path),
+                "--qi", "Age", "--numerical", "Age",
+                "--sensitive", "Disease",
+                "--beta", "2", "--seed", "42",
+                "-o", str(tmp_path / "out.csv"),
+            ]
+        )
+        assert code == 0
+        assert seen["algorithm"] == "burel"
+        assert seen["rng"] == 42
+
+    def test_algorithm_flag_backed_by_registry(self, tmp_path):
+        import csv
+
+        from repro import cli
+
+        path = tmp_path / "data.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["Age", "Disease"])
+            rows = [(20 + i % 40, ["flu", "cold", "ache"][i % 3]) for i in range(60)]
+            writer.writerows(rows)
+        for algorithm in ("mondrian", "sabre"):
+            out = tmp_path / f"{algorithm}.csv"
+            code = cli.run(
+                [
+                    "generalize", str(path),
+                    "--qi", "Age", "--numerical", "Age",
+                    "--sensitive", "Disease",
+                    "--algorithm", algorithm,
+                    "--beta", "2",
+                    "-o", str(out),
+                ]
+            )
+            assert code == 0
+            assert out.exists()
