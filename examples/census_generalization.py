@@ -14,17 +14,10 @@ Run:  python examples/census_generalization.py [--tuples N]
 
 import argparse
 
-import numpy as np
-
 from repro import burel, average_information_loss, privacy_profile
 from repro.anonymity import d_mondrian, l_mondrian
 from repro.dataset import CENSUS_QI_ORDER, make_census
-from repro.query import (
-    GeneralizedAnswerer,
-    answer_precise,
-    make_workload,
-    median_relative_error,
-)
+from repro.query import evaluate_workload, make_workload
 
 
 def main() -> None:
@@ -60,15 +53,9 @@ def main() -> None:
         print(f"{'':10s}  {privacy_profile(result.published)}")
 
     print("\nCOUNT-query workload (lambda=2, theta=0.1, 1000 queries):")
-    queries = make_workload(
-        table.schema, 1_000, lam=2, theta=0.1, rng=np.random.default_rng(13)
-    )
-    precise = np.array([answer_precise(table, q) for q in queries])
-    for name, published in publications.items():
-        answer = GeneralizedAnswerer(published)
-        estimates = np.array([answer(q) for q in queries])
-        error = median_relative_error(precise, estimates)
-        print(f"  {name:10s}: median relative error = {error:.2%}")
+    queries = make_workload(table.schema, 1_000, lam=2, theta=0.1, rng=13)
+    for name, profile in evaluate_workload(table, publications, queries).items():
+        print(f"  {name:10s}: median relative error = {profile.median:.2%}")
 
 
 if __name__ == "__main__":

@@ -20,13 +20,7 @@ import numpy as np
 from repro import perturb_table
 from repro.anonymity import BaselinePublication
 from repro.dataset import make_census
-from repro.query import (
-    BaselineAnswerer,
-    PerturbedAnswerer,
-    answer_precise,
-    make_workload,
-    median_relative_error,
-)
+from repro.query import evaluate_workload, make_workload
 
 
 def main() -> None:
@@ -63,17 +57,13 @@ def main() -> None:
     )
 
     print("COUNT-query workload (lambda=3, theta=0.1, 1000 queries):")
-    queries = make_workload(
-        table.schema, 1_000, lam=3, theta=0.1, rng=np.random.default_rng(13)
-    )
-    precise = np.array([answer_precise(table, q) for q in queries])
-    for name, answer in (
-        ("(rho1,rho2)-privacy", PerturbedAnswerer(perturbed)),
-        ("Baseline", BaselineAnswerer(BaselinePublication(table))),
-    ):
-        estimates = np.array([answer(q) for q in queries])
-        error = median_relative_error(precise, estimates)
-        print(f"  {name:20s}: median relative error = {error:.2%}")
+    queries = make_workload(table.schema, 1_000, lam=3, theta=0.1, rng=13)
+    publications = {
+        "(rho1,rho2)-privacy": perturbed,
+        "Baseline": BaselinePublication(table),
+    }
+    for name, profile in evaluate_workload(table, publications, queries).items():
+        print(f"  {name:20s}: median relative error = {profile.median:.2%}")
 
 
 if __name__ == "__main__":

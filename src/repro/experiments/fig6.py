@@ -11,15 +11,16 @@ from __future__ import annotations
 
 import argparse
 
-from ..anonymity import d_mondrian, l_mondrian
-from ..core import burel
 from ..dataset import CENSUS_QI_ORDER
 from ..metrics import average_information_loss
+from .fig8 import GENERALIZATION_JOBS
 from .runner import (
+    EngineJob,
     ExperimentConfig,
     ExperimentResult,
     add_common_args,
     config_from_args,
+    run_algorithms,
 )
 
 DEFAULT_CONFIG = ExperimentConfig()
@@ -29,21 +30,29 @@ DEFAULT_BETA = 4.0
 def run(
     config: ExperimentConfig = DEFAULT_CONFIG, beta: float = DEFAULT_BETA
 ) -> list[ExperimentResult]:
-    """Fig. 6(a) AIL and Fig. 6(b) seconds, vs QI size 1..5."""
+    """Fig. 6(a) AIL and Fig. 6(b) seconds, vs QI size 1..5.
+
+    One staged-engine batch over all (QI size, algorithm) pairs; each
+    projected table's preprocessing is shared by its three runs.
+    """
     sizes = list(range(1, len(CENSUS_QI_ORDER) + 1))
-    ail: dict[str, list[float]] = {"BUREL": [], "LMondrian": [], "DMondrian": []}
-    secs: dict[str, list[float]] = {"BUREL": [], "LMondrian": [], "DMondrian": []}
-    for size in sizes:
-        table = config.table(qi=CENSUS_QI_ORDER[:size])
-        b = burel(table, beta)
-        ail["BUREL"].append(average_information_loss(b.published))
-        secs["BUREL"].append(b.elapsed_seconds)
-        lm = l_mondrian(table, beta)
-        ail["LMondrian"].append(average_information_loss(lm.published))
-        secs["LMondrian"].append(lm.elapsed_seconds)
-        dm = d_mondrian(table, beta)
-        ail["DMondrian"].append(average_information_loss(dm.published))
-        secs["DMondrian"].append(dm.elapsed_seconds)
+    tables = [config.table(qi=CENSUS_QI_ORDER[:size]) for size in sizes]
+    names = [name for name, _, _ in GENERALIZATION_JOBS]
+    jobs = [
+        EngineJob(algo, params(beta), table=i)
+        for i in range(len(sizes))
+        for _, algo, params in GENERALIZATION_JOBS
+    ]
+    results = run_algorithms(tables, jobs)
+    stride = len(names)
+    ail: dict[str, list[float]] = {name: [] for name in names}
+    secs: dict[str, list[float]] = {name: [] for name in names}
+    for i, _size in enumerate(sizes):
+        for name, result in zip(
+            names, results[stride * i : stride * (i + 1)]
+        ):
+            ail[name].append(average_information_loss(result.published))
+            secs[name].append(result.elapsed_seconds)
     return [
         ExperimentResult(
             name="fig6a",

@@ -16,18 +16,14 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
-from ..anonymity import d_mondrian, l_mondrian
-from ..core import burel
 from ..dataset import CENSUS_QI_ORDER
-from ..query import GeneralizedAnswerer, answer_precise, make_workload
-from ..query.answer import median_relative_error
+from ..query import evaluate_workload, make_workload
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
     add_common_args,
     config_from_args,
+    run_algorithms,
 )
 
 DEFAULT_CONFIG = ExperimentConfig(qi=CENSUS_QI_ORDER)
@@ -38,25 +34,31 @@ THETAS = (0.05, 0.10, 0.15, 0.20, 0.25)
 
 ALGORITHMS = ("BUREL", "LMondrian", "DMondrian")
 
+#: Engine jobs behind the three Fig. 8 curves, at a given β.
+GENERALIZATION_JOBS = (
+    ("BUREL", "burel", lambda beta: {"beta": beta}),
+    ("LMondrian", "mondrian", lambda beta: {"kind": "beta", "beta": beta}),
+    ("DMondrian", "mondrian", lambda beta: {"kind": "delta", "beta": beta}),
+)
+
 
 def _publications(table, beta: float):
+    results = run_algorithms(
+        table,
+        [(algo, params(beta)) for _, algo, params in GENERALIZATION_JOBS],
+    )
     return {
-        "BUREL": burel(table, beta).published,
-        "LMondrian": l_mondrian(table, beta).published,
-        "DMondrian": d_mondrian(table, beta).published,
+        name: result.published
+        for (name, _, _), result in zip(GENERALIZATION_JOBS, results)
     }
 
 
 def _workload_errors(table, publications, lam, theta, config) -> dict[str, float]:
-    rng = np.random.default_rng(config.query_seed)
-    queries = make_workload(table.schema, config.n_queries, lam, theta, rng)
-    precise = np.array([answer_precise(table, q) for q in queries])
-    errors = {}
-    for name, pub in publications.items():
-        answer = GeneralizedAnswerer(pub)
-        estimates = np.array([answer(q) for q in queries])
-        errors[name] = median_relative_error(precise, estimates)
-    return errors
+    queries = make_workload(
+        table.schema, config.n_queries, lam, theta, config.query_seed
+    )
+    profiles = evaluate_workload(table, publications, queries)
+    return {name: profile.median for name, profile in profiles.items()}
 
 
 def run_fig8a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:

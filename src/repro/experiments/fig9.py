@@ -26,8 +26,7 @@ import numpy as np
 from ..anonymity import BaselinePublication
 from ..core import perturb_table
 from ..dataset import CENSUS_QI_ORDER
-from ..query import BaselineAnswerer, PerturbedAnswerer, answer_precise, make_workload
-from ..query.answer import median_relative_error
+from ..query import BaselineAnswerer, PerturbedAnswerer, evaluate_workload, make_workload
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -44,15 +43,14 @@ PERTURBATION_SEED = 29
 
 
 def _errors(table, answerers, lam, theta, config) -> dict[str, float]:
-    rng = np.random.default_rng(config.query_seed)
-    queries = make_workload(table.schema, config.n_queries, lam, theta, rng)
-    precise = np.array([answer_precise(table, q) for q in queries])
-    return {
-        name: median_relative_error(
-            precise, np.array([answer(q) for q in queries])
-        )
-        for name, answer in answerers.items()
-    }
+    queries = make_workload(
+        table.schema, config.n_queries, lam, theta, config.query_seed
+    )
+    # Prebuilt answerers are passed straight through so the perturbation
+    # weights cache stays warm across sweep points; both share one
+    # QI-mask source per (table, workload).
+    profiles = evaluate_workload(table, answerers, queries)
+    return {name: profile.median for name, profile in profiles.items()}
 
 
 def _answerers(table, beta: float):

@@ -14,24 +14,31 @@ from __future__ import annotations
 
 import argparse
 
-from ..core import burel
 from ..metrics import average_l, average_t, measured_l, measured_t
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
     add_common_args,
     config_from_args,
+    run_algorithms,
 )
 
 DEFAULT_CONFIG = ExperimentConfig()
 
 
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
-    """The §7 table: β → (t, Avg t, ℓ, Avg ℓ)."""
+    """The §7 table: β → (t, Avg t, ℓ, Avg ℓ).
+
+    The β sweep runs as one staged-engine batch sharing per-table
+    preprocessing, like the other BUREL sweeps.
+    """
     table = config.table()
+    results = run_algorithms(
+        table, [("burel", {"beta": beta}) for beta in config.betas]
+    )
     series: dict[str, list[float]] = {"t": [], "Avg t": [], "l": [], "Avg l": []}
-    for beta in config.betas:
-        published = burel(table, beta).published
+    for result in results:
+        published = result.published
         series["t"].append(measured_t(published, ordered=True))
         series["Avg t"].append(average_t(published, ordered=True))
         series["l"].append(measured_l(published))

@@ -1,0 +1,72 @@
+"""Workload error metrics shared by the query and metrics layers.
+
+One implementation of the paper's relative-error rule (``|est - prec| /
+prec`` with zero-``prec`` queries dropped, §6.2) feeds both the median
+metric Figs. 8–9 report and the quartile :class:`ErrorProfile` the
+utility benches use, so the drop rule cannot diverge between them.
+
+This module is a leaf (numpy only) on purpose: both ``repro.query`` and
+``repro.metrics`` import it, and it must not import either of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def relative_errors(
+    precise: np.ndarray, estimates: np.ndarray
+) -> np.ndarray:
+    """``|est - prec| / prec`` with zero-``prec`` queries dropped (§6.2)."""
+    precise = np.asarray(precise, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    keep = precise > 0
+    return np.abs(estimates[keep] - precise[keep]) / precise[keep]
+
+
+def median_relative_error(
+    precise: np.ndarray, estimates: np.ndarray
+) -> float:
+    """The paper's workload metric: median of the relative errors."""
+    errors = relative_errors(precise, estimates)
+    if errors.size == 0:
+        raise ValueError("every query had a zero precise answer")
+    return float(np.median(errors))
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Summary of a workload's relative errors."""
+
+    median: float
+    mean: float
+    p25: float
+    p75: float
+    p95: float
+    n_queries: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"median={self.median:.3%} mean={self.mean:.3%} "
+            f"IQR=[{self.p25:.3%}, {self.p75:.3%}] p95={self.p95:.3%} "
+            f"({self.n_queries} queries)"
+        )
+
+
+def error_profile(
+    precise: np.ndarray, estimates: np.ndarray
+) -> ErrorProfile:
+    """Quartile summary of ``|est - prec| / prec`` (zero-prec dropped)."""
+    errors = relative_errors(precise, estimates)
+    if errors.size == 0:
+        raise ValueError("every query had a zero precise answer")
+    return ErrorProfile(
+        median=float(np.median(errors)),
+        mean=float(errors.mean()),
+        p25=float(np.percentile(errors, 25)),
+        p75=float(np.percentile(errors, 75)),
+        p95=float(np.percentile(errors, 95)),
+        n_queries=int(errors.size),
+    )

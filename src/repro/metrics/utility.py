@@ -20,13 +20,20 @@ than one lens:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..core.perturb import PerturbedTable
 from ..dataset.published import GeneralizedTable
+from .errors import ErrorProfile, error_profile
 from .loss import il_class
+
+__all__ = [
+    "ErrorProfile",
+    "error_profile",
+    "global_certainty_penalty",
+    "normalized_certainty_penalty",
+    "reconstruction_tv_error",
+]
 
 
 def global_certainty_penalty(published: GeneralizedTable) -> float:
@@ -40,45 +47,6 @@ def global_certainty_penalty(published: GeneralizedTable) -> float:
 def normalized_certainty_penalty(published: GeneralizedTable) -> np.ndarray:
     """Per-class NCP values (Eq. 4 of the paper, one per EC)."""
     return np.array([il_class(published.schema, ec) for ec in published])
-
-
-@dataclass(frozen=True)
-class ErrorProfile:
-    """Summary of a workload's relative errors."""
-
-    median: float
-    mean: float
-    p25: float
-    p75: float
-    p95: float
-    n_queries: int
-
-    def __str__(self) -> str:  # pragma: no cover - display helper
-        return (
-            f"median={self.median:.3%} mean={self.mean:.3%} "
-            f"IQR=[{self.p25:.3%}, {self.p75:.3%}] p95={self.p95:.3%} "
-            f"({self.n_queries} queries)"
-        )
-
-
-def error_profile(
-    precise: np.ndarray, estimates: np.ndarray
-) -> ErrorProfile:
-    """Quartile summary of ``|est - prec| / prec`` (zero-prec dropped)."""
-    precise = np.asarray(precise, dtype=float)
-    estimates = np.asarray(estimates, dtype=float)
-    keep = precise > 0
-    if not keep.any():
-        raise ValueError("every query had a zero precise answer")
-    errors = np.abs(estimates[keep] - precise[keep]) / precise[keep]
-    return ErrorProfile(
-        median=float(np.median(errors)),
-        mean=float(errors.mean()),
-        p25=float(np.percentile(errors, 25)),
-        p75=float(np.percentile(errors, 75)),
-        p95=float(np.percentile(errors, 95)),
-        n_queries=int(errors.size),
-    )
 
 
 def reconstruction_tv_error(published: PerturbedTable) -> float:

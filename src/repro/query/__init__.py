@@ -2,6 +2,7 @@
 
 from .workload import (
     CountQuery,
+    EncodedWorkload,
     answer_precise,
     make_query,
     make_workload,
@@ -23,11 +24,21 @@ from .answer import (
     answer_perturbed,
     median_relative_error,
     relative_errors,
+)
+from .evaluate import (
+    ErrorProfile,
+    RangeBitmapIndex,
+    answer_precise_batch,
+    batch_estimates,
+    error_profile,
+    evaluate_workload,
+    make_answerer,
     workload_error,
 )
 
 __all__ = [
     "CountQuery",
+    "EncodedWorkload",
     "answer_precise",
     "make_query",
     "make_workload",
@@ -41,6 +52,13 @@ __all__ = [
     "answer_perturbed",
     "median_relative_error",
     "relative_errors",
+    "ErrorProfile",
+    "RangeBitmapIndex",
+    "answer_precise_batch",
+    "batch_estimates",
+    "error_profile",
+    "evaluate_workload",
+    "make_answerer",
     "confidence_interval",
     "estimator_variance",
     "estimator_variance_bound",

@@ -15,6 +15,7 @@ attributes of each query are drawn at random from the table's QI set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -89,11 +90,127 @@ def make_workload(
     n_queries: int,
     lam: int,
     theta: float,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> list[CountQuery]:
-    """A workload of i.i.d. random COUNT queries (paper default: 10 000)."""
-    rng = rng or np.random.default_rng(0)
+    """A workload of i.i.d. random COUNT queries (paper default: 10 000).
+
+    Args:
+        schema: The table's schema (supplies domains).
+        n_queries: Workload size.
+        lam: Number of QI predicates per query (``λ``).
+        theta: Expected selectivity ``θ`` in (0, 1).
+        rng: Randomness source, following the engine's uniform contract:
+            an int seed or a ``numpy`` Generator.  The default is the
+            explicit seed ``0`` — two calls without ``rng`` produce the
+            same workload *by documented contract*, not by accident.
+            ``None`` is rejected so callers cannot silently share one
+            "random" workload across what they believe are independent
+            draws.
+    """
+    if rng is None:
+        raise TypeError(
+            "make_workload requires an int seed or a numpy Generator; "
+            "rng=None is ambiguous (the historical behaviour silently "
+            "seeded 0 — pass rng=0 to keep it)"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
     return [make_query(schema, lam, theta, rng) for _ in range(n_queries)]
+
+
+@dataclass(frozen=True)
+class EncodedWorkload:
+    """A workload as dense arrays, the batched evaluator's input format.
+
+    Per-dimension bounds are *closed* over the full workload: dimensions
+    a query does not constrain carry the attribute's whole domain (so a
+    row/box comparison against them is vacuously true), and
+    ``constrained`` records which entries are real predicates so batch
+    kernels can skip the vacuous ones.  Bounds of real predicates are
+    clipped to the domain (±1 for empty ranges), which leaves in-domain
+    workloads — everything :func:`make_query` generates — bit-for-bit
+    unchanged.
+
+    Attributes:
+        queries: The original :class:`CountQuery` objects, in order.
+        qi_lo / qi_hi: ``(Q, d)`` inclusive QI bounds.
+        constrained: ``(Q, d)`` bool; True where the query has a predicate.
+        sa_lo / sa_hi: ``(Q,)`` inclusive SA bounds.
+    """
+
+    queries: tuple[CountQuery, ...]
+    qi_lo: np.ndarray
+    qi_hi: np.ndarray
+    constrained: np.ndarray
+    sa_lo: np.ndarray
+    sa_hi: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.queries)
+
+    def slice(self, start: int, stop: int) -> "EncodedWorkload":
+        """A view of queries ``start:stop`` (arrays are shared)."""
+        return EncodedWorkload(
+            queries=self.queries[start:stop],
+            qi_lo=self.qi_lo[start:stop],
+            qi_hi=self.qi_hi[start:stop],
+            constrained=self.constrained[start:stop],
+            sa_lo=self.sa_lo[start:stop],
+            sa_hi=self.sa_hi[start:stop],
+        )
+
+    @classmethod
+    def encode(
+        cls, schema: Schema, queries: "Sequence[CountQuery] | EncodedWorkload"
+    ) -> "EncodedWorkload":
+        """Encode ``queries``; passes an already-encoded workload through."""
+        if isinstance(queries, EncodedWorkload):
+            return queries
+        queries = tuple(queries)
+        q_n = len(queries)
+        d = schema.n_qi
+        qi_lo = np.empty((q_n, d), dtype=np.int64)
+        qi_hi = np.empty((q_n, d), dtype=np.int64)
+        for j, attr in enumerate(schema.qi):
+            qi_lo[:, j] = attr.lo
+            qi_hi[:, j] = attr.hi
+        constrained = np.zeros((q_n, d), dtype=bool)
+        sa_lo = np.empty(q_n, dtype=np.int64)
+        sa_hi = np.empty(q_n, dtype=np.int64)
+        m = schema.sensitive.cardinality
+        for i, query in enumerate(queries):
+            last_dim = -1
+            for dim, (lo, hi) in query.qi_ranges:
+                if dim <= last_dim:
+                    # The scalar answerers apply predicates in tuple
+                    # order (masks intersect per entry, fractions
+                    # multiply per entry); the dense encoding can only
+                    # represent one predicate per dimension applied in
+                    # ascending order, so anything else must be refused
+                    # rather than silently diverge bitwise.
+                    raise ValueError(
+                        f"query {i}: QI predicates must be in strictly "
+                        f"ascending dimension order (dimension {dim} "
+                        f"after {last_dim}); sort and intersect them "
+                        f"before encoding"
+                    )
+                last_dim = dim
+                attr = schema.qi[dim]
+                qi_lo[i, dim] = min(max(lo, attr.lo), attr.hi + 1)
+                qi_hi[i, dim] = max(min(hi, attr.hi), attr.lo - 1)
+                constrained[i, dim] = True
+            lo, hi = query.sa_range
+            sa_lo[i] = min(max(lo, 0), m)
+            sa_hi[i] = max(min(hi, m - 1), -1)
+        return cls(
+            queries=queries,
+            qi_lo=qi_lo,
+            qi_hi=qi_hi,
+            constrained=constrained,
+            sa_lo=sa_lo,
+            sa_hi=sa_hi,
+        )
 
 
 def qi_mask(table: Table, query: CountQuery) -> np.ndarray:

@@ -1,0 +1,329 @@
+"""Batched workload evaluation: batch-vs-scalar byte-equality, the
+shared-mask/bitmap machinery, precise caching, and the query-layer
+bugfix regressions (anatomy coverage, workload rng contract)."""
+
+import numpy as np
+import pytest
+
+from repro.anonymity import BaselinePublication, anatomize
+from repro.anonymity.anatomy import AnatomyGroup, AnatomyTable
+from repro.core import burel, perturb_table
+from repro.dataset import make_census
+from repro.query import (
+    AnatomyAnswerer,
+    BaselineAnswerer,
+    CountQuery,
+    EncodedWorkload,
+    GeneralizedAnswerer,
+    PerturbedAnswerer,
+    RangeBitmapIndex,
+    answer_precise,
+    answer_precise_batch,
+    batch_estimates,
+    evaluate_workload,
+    make_answerer,
+    make_workload,
+    median_relative_error,
+    qi_mask,
+    workload_error,
+)
+from repro.query import evaluate as evaluate_module
+from repro.query.evaluate import TableMaskEngine, mask_engine
+
+
+@pytest.fixture(scope="module")
+def workload(census_small):
+    """A varied randomized workload: mixed λ and θ per block."""
+    queries = []
+    for seed, lam, theta in ((3, 1, 0.05), (4, 2, 0.1), (5, 3, 0.25)):
+        queries.extend(
+            make_workload(census_small.schema, 60, lam, theta, rng=seed)
+        )
+    return queries
+
+
+class TestEncodedWorkload:
+    def test_open_bounds_cover_domains(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        for j, attr in enumerate(census_small.schema.qi):
+            unconstrained = ~enc.constrained[:, j]
+            assert (enc.qi_lo[unconstrained, j] == attr.lo).all()
+            assert (enc.qi_hi[unconstrained, j] == attr.hi).all()
+
+    def test_encode_is_idempotent(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        assert EncodedWorkload.encode(census_small.schema, enc) is enc
+
+    def test_slice_preserves_queries(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        part = enc.slice(10, 25)
+        assert part.queries == enc.queries[10:25]
+        assert np.array_equal(part.sa_lo, enc.sa_lo[10:25])
+
+
+class TestPreciseBatch:
+    def test_matches_scalar(self, census_small, workload):
+        scalar = np.array([answer_precise(census_small, q) for q in workload])
+        batch = answer_precise_batch(census_small, workload)
+        assert batch.dtype == np.int64
+        assert np.array_equal(scalar, batch)
+
+    def test_compare_fallback_matches_index(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        indexed = TableMaskEngine(census_small)
+        assert indexed.index is not None
+        fallback = TableMaskEngine(census_small, index_budget=0)
+        assert fallback.index is None
+        assert np.array_equal(indexed.precise(enc), fallback.precise(enc))
+        assert np.array_equal(indexed.qi_counts(enc), fallback.qi_counts(enc))
+        assert np.array_equal(
+            indexed.qi_mask_block(enc, 7, 40),
+            fallback.qi_mask_block(enc, 7, 40),
+        )
+
+    def test_qi_masks_match_scalar(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        masks = mask_engine(census_small).qi_mask_block(enc, 0, 30)
+        for i in range(30):
+            assert np.array_equal(masks[i], qi_mask(census_small, workload[i]))
+
+    def test_cache_reused_across_calls(self, census_small, workload):
+        first = answer_precise_batch(census_small, workload)
+        second = answer_precise_batch(census_small, workload)
+        assert second is first  # cached object, not a recomputation
+        uncached = answer_precise_batch(census_small, workload, cache=False)
+        assert uncached is not first
+        assert np.array_equal(uncached, first)
+
+    def test_row_count_not_multiple_of_64(self):
+        """Exercises the packed-row padding (77 rows → 3 pad bits + pad
+        bytes) end to end."""
+        table = make_census(77, seed=3, qi_names=("Age", "Gender"))
+        queries = make_workload(table.schema, 40, 2, 0.2, rng=9)
+        scalar = np.array([answer_precise(table, q) for q in queries])
+        assert np.array_equal(scalar, answer_precise_batch(table, queries))
+
+    def test_full_domain_query_counts_everything(self, census_small):
+        query = CountQuery(qi_ranges=(), sa_range=(0, 49))
+        batch = answer_precise_batch(census_small, [query], cache=False)
+        assert batch.tolist() == [census_small.n_rows]
+
+
+class TestBatchAnswerers:
+    """Every batch path must be bit-identical to its scalar answerer."""
+
+    def test_generalized(self, census_small, workload):
+        answerer = GeneralizedAnswerer(burel(census_small, 3.0).published)
+        scalar = np.array([answerer(q) for q in workload])
+        assert np.array_equal(scalar, answerer.batch(workload))
+        # tiny chunks exercise the chunk boundary logic
+        assert np.array_equal(scalar, answerer.batch(workload, chunk=7))
+
+    def test_generalized_no_qi_predicates(self, census_small):
+        answerer = GeneralizedAnswerer(burel(census_small, 3.0).published)
+        query = CountQuery(qi_ranges=(), sa_range=(5, 20))
+        assert answerer.batch([query])[0] == answerer(query)
+
+    def test_perturbed(self, census_small, workload):
+        published = perturb_table(
+            census_small, 4.0, rng=np.random.default_rng(2)
+        )
+        answerer = PerturbedAnswerer(published)
+        scalar = np.array([answerer(q) for q in workload])
+        assert np.array_equal(scalar, answerer.batch(workload))
+
+    def test_anatomy(self, census_small, workload):
+        published = anatomize(census_small, 4, rng=np.random.default_rng(1))
+        answerer = AnatomyAnswerer(published)
+        scalar = np.array([answerer(q) for q in workload])
+        assert np.array_equal(scalar, answerer.batch(workload))
+
+    def test_baseline(self, census_small, workload):
+        answerer = BaselineAnswerer(BaselinePublication(census_small))
+        scalar = np.array([answerer(q) for q in workload])
+        assert np.array_equal(scalar, answerer.batch(workload))
+
+    def test_batch_with_shared_masks(self, census_small, workload):
+        """batch_estimates routes shared masks; results stay identical."""
+        publications = {
+            "perturbed": perturb_table(
+                census_small, 4.0, rng=np.random.default_rng(2)
+            ),
+            "anatomy": anatomize(census_small, 4, rng=np.random.default_rng(1)),
+            "baseline": BaselinePublication(census_small),
+            "burel": burel(census_small, 3.0).published,
+        }
+        estimates = batch_estimates(census_small, publications, workload)
+        for name, published in publications.items():
+            answerer = make_answerer(published)
+            scalar = np.array([answerer(q) for q in workload])
+            assert np.array_equal(scalar, estimates[name]), name
+
+    def test_rowwise_sum_matches_1d_sum(self, rng):
+        """The (chunk, E).sum(axis=1) kernel must reduce each row exactly
+        like the scalar 1-D sum — the byte-equality guarantee rests on
+        it.  Adversarial magnitudes make any reassociation visible."""
+        data = rng.standard_normal((64, 1037)) * np.exp(
+            rng.uniform(-30, 30, size=(64, 1037))
+        )
+        rowwise = data.sum(axis=1)
+        scalar = np.array([data[i].sum() for i in range(data.shape[0])])
+        assert np.array_equal(rowwise, scalar)
+
+
+class TestEvaluateWorkload:
+    def test_profiles_match_scalar_medians(self, census_small, workload):
+        publications = {
+            "burel": burel(census_small, 3.0).published,
+            "baseline": BaselinePublication(census_small),
+        }
+        profiles = evaluate_workload(census_small, publications, workload)
+        precise = np.array(
+            [answer_precise(census_small, q) for q in workload]
+        )
+        for name, published in publications.items():
+            answerer = make_answerer(published)
+            scalar = median_relative_error(
+                precise, np.array([answerer(q) for q in workload])
+            )
+            assert profiles[name].median == scalar
+
+    def test_accepts_prebuilt_answerers(self, census_small, workload):
+        answerer = GeneralizedAnswerer(burel(census_small, 3.0).published)
+        profiles = evaluate_workload(
+            census_small, {"gen": answerer}, workload
+        )
+        assert profiles["gen"].n_queries <= len(workload)
+
+    def test_rejects_foreign_table(self, census_small, workload):
+        other = make_census(500, seed=11, qi_names=("Age", "Gender"))
+        publication = BaselinePublication(other)
+        with pytest.raises(ValueError, match="different table"):
+            evaluate_workload(census_small, {"b": publication}, workload)
+
+    def test_workload_error_batch_and_scalar_paths_agree(
+        self, census_small, workload
+    ):
+        answerer = GeneralizedAnswerer(burel(census_small, 3.0).published)
+        batched = workload_error(census_small, workload, answerer)
+        plain = workload_error(
+            census_small, workload, lambda q: answerer(q)
+        )
+        assert batched == plain
+
+    def test_unknown_publication_type_raises(self, census_small, workload):
+        with pytest.raises(TypeError, match="no answerer"):
+            evaluate_workload(census_small, {"x": object()}, workload)
+
+
+class TestRangeBitmapIndex:
+    def test_estimate_matches_reality(self, census_small):
+        index = RangeBitmapIndex(census_small)
+        actual = sum(
+            le.nbytes + ge.nbytes for (le, ge), _ in index._qi
+        ) + sum(b.nbytes for b in index._sa)
+        assert actual <= RangeBitmapIndex.estimate_bytes(census_small)
+
+    def test_unpack_roundtrip(self, census_small, workload):
+        enc = EncodedWorkload.encode(census_small.schema, workload)
+        index = RangeBitmapIndex(census_small)
+        packed = index.qi_bits(enc, 0, 16)
+        masks = index.unpack(packed)
+        assert masks.shape == (16, census_small.n_rows)
+        repacked = np.packbits(masks, axis=1)
+        assert np.array_equal(repacked, packed[:, : repacked.shape[1]])
+
+
+class TestAnatomyCoverageRegression:
+    def test_uncovered_rows_raise(self):
+        """Rows outside every group used to carry garbage group ids and
+        silently corrupt estimates; they must raise instead."""
+        table = make_census(100, seed=2, qi_names=("Age", "Gender"))
+        groups = (
+            AnatomyGroup(
+                rows=np.arange(60, dtype=np.int64),
+                sa_counts=np.bincount(
+                    table.sa[:60], minlength=table.sa_cardinality
+                ),
+            ),
+        )
+        published = AnatomyTable(source=table, groups=groups, l=2)
+        with pytest.raises(ValueError, match="40 of 100 rows"):
+            AnatomyAnswerer(published)
+
+    def test_full_coverage_still_accepted(self, census_small):
+        published = anatomize(census_small, 4, rng=np.random.default_rng(1))
+        answerer = AnatomyAnswerer(published)
+        assert (answerer.group_of >= 0).all()
+
+
+class TestWorkloadRngContract:
+    def test_int_seed_matches_generator(self, census_small):
+        by_seed = make_workload(census_small.schema, 10, 2, 0.1, rng=3)
+        by_generator = make_workload(
+            census_small.schema, 10, 2, 0.1, rng=np.random.default_rng(3)
+        )
+        assert by_seed == by_generator
+
+    def test_default_is_documented_seed_zero(self, census_small):
+        assert make_workload(census_small.schema, 10, 2, 0.1) == make_workload(
+            census_small.schema, 10, 2, 0.1, rng=0
+        )
+
+    def test_distinct_seeds_differ(self, census_small):
+        assert make_workload(
+            census_small.schema, 10, 2, 0.1, rng=1
+        ) != make_workload(census_small.schema, 10, 2, 0.1, rng=2)
+
+    def test_none_is_rejected(self, census_small):
+        with pytest.raises(TypeError, match="int seed or a numpy Generator"):
+            make_workload(census_small.schema, 10, 2, 0.1, rng=None)
+
+
+class TestCacheHygiene:
+    def test_precise_cache_is_bounded(self, census_small):
+        per_table = evaluate_module._PRECISE.setdefault(census_small, {})
+        per_table.clear()
+        for seed in range(evaluate_module._PRECISE_PER_TABLE + 3):
+            queries = make_workload(census_small.schema, 5, 1, 0.1, rng=seed)
+            answer_precise_batch(census_small, queries)
+        assert len(per_table) <= evaluate_module._PRECISE_PER_TABLE
+
+    def test_engine_cache_frees_with_table(self):
+        """The engine must not hold a strong reference to its table —
+        that would pin the WeakKeyDictionary key (and the bitmap index)
+        for the process lifetime."""
+        import gc
+        import weakref
+
+        table = make_census(200, seed=5, qi_names=("Age", "Gender"))
+        mask_engine(table)
+        assert table in evaluate_module._ENGINES
+        probe = weakref.ref(table)
+        del table
+        gc.collect()
+        assert probe() is None
+
+    def test_duplicate_dimension_predicates_rejected(self, census_small):
+        """The scalar path intersects repeated predicates; the dense
+        encoding cannot represent that, so it must refuse."""
+        query = CountQuery(
+            qi_ranges=((0, (10, 20)), (0, (15, 30))), sa_range=(0, 10)
+        )
+        with pytest.raises(ValueError, match="ascending dimension order"):
+            answer_precise_batch(census_small, [query], cache=False)
+
+    def test_unsorted_dimension_predicates_rejected(self, census_small):
+        """Scalar fraction products follow tuple order; out-of-order
+        predicates would associate float products differently."""
+        query = CountQuery(
+            qi_ranges=((2, (0, 5)), (0, (10, 20))), sa_range=(0, 10)
+        )
+        with pytest.raises(ValueError, match="ascending dimension order"):
+            answer_precise_batch(census_small, [query], cache=False)
+
+    def test_cached_precise_answers_are_immutable(self, census_small):
+        queries = make_workload(census_small.schema, 8, 1, 0.1, rng=77)
+        cached = answer_precise_batch(census_small, queries)
+        with pytest.raises(ValueError, match="read-only"):
+            cached[0] = 0
