@@ -24,7 +24,8 @@ All schemes are also reachable through the unified staged engine::
     print(result.stage_seconds)
 """
 
-from . import engine
+from . import audit, engine
+from .audit import audit_publications
 from .core import (
     BetaLikeness,
     BurelResult,
@@ -49,6 +50,8 @@ from .metrics import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "audit",
+    "audit_publications",
     "engine",
     "BetaLikeness",
     "BurelResult",

@@ -20,6 +20,12 @@ measurable demonstrations:
   are published once; :func:`composition_attack` measures how much two
   β-like releases of the same table leak when that assumption is
   violated — motivating it.
+
+Both functions here are the *scalar references*: per-EC / per-row
+Python loops kept for auditability.  The batched audit engine
+(:mod:`repro.audit.attacks`) reimplements them on the shared
+publication view with bit/float-identical results; production audits
+should go through :func:`repro.audit.audit_publications`.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dataset.published import GeneralizedTable
+from ..rng import coerce_rng
 
 
 @dataclass(frozen=True)
@@ -52,7 +59,7 @@ class CorruptionReport:
 def corruption_attack(
     published: GeneralizedTable,
     n_corrupted: int,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int = 0,
 ) -> CorruptionReport:
     """Subtract ``n_corrupted`` known tuples and re-measure posteriors.
 
@@ -60,9 +67,12 @@ def corruption_attack(
         published: A generalization-based publication.
         n_corrupted: Number of tuples whose SA value the adversary knows
             (sampled uniformly).
-        rng: Randomness for the corrupted sample.
+        rng: Randomness for the corrupted sample, following the repo's
+            uniform contract: an int seed or a ``numpy`` Generator.  The
+            default is the explicit seed ``0``; ``None`` raises instead
+            of silently self-seeding.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = coerce_rng(rng, "corruption_attack")
     table = published.source
     if not 0 <= n_corrupted <= table.n_rows:
         raise ValueError("n_corrupted out of range")
@@ -129,12 +139,23 @@ def composition_attack(
     table = first.source
     n = table.n_rows
 
-    class_of_first = np.empty(n, dtype=np.int64)
+    # Initialized to -1, not np.empty: a publication whose ECs miss rows
+    # must fail loudly instead of pairing those rows with garbage group
+    # ids and silently corrupting the report.
+    class_of_first = np.full(n, -1, dtype=np.int64)
     for g, ec in enumerate(first):
         class_of_first[ec.rows] = g
-    class_of_second = np.empty(n, dtype=np.int64)
+    class_of_second = np.full(n, -1, dtype=np.int64)
     for g, ec in enumerate(second):
         class_of_second[ec.rows] = g
+    for name, class_of in (("first", class_of_first),
+                           ("second", class_of_second)):
+        uncovered = int(np.count_nonzero(class_of < 0))
+        if uncovered:
+            raise ValueError(
+                f"the {name} publication's ECs do not cover the table: "
+                f"{uncovered} of {n} rows have no class"
+            )
 
     single = 0.0
     composed = 0.0

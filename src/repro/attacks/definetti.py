@@ -49,12 +49,28 @@ class DeFinettiResult(AttackResult):
 
 
 def _groups_of(publication) -> list[np.ndarray]:
-    """Member-row arrays of a group-based publication."""
+    """Member-row arrays of a group-based publication, coverage-checked.
+
+    Every source row must belong to exactly one group: an uncovered row
+    would keep an all-zero posterior through every EM iteration and its
+    arbitrary argmax-0 prediction would be scored as a real guess.
+    """
     if isinstance(publication, AnatomyTable):
-        return [g.rows for g in publication.groups]
-    if isinstance(publication, GeneralizedTable):
-        return [ec.rows for ec in publication.classes]
-    raise TypeError(f"unsupported publication type {type(publication)!r}")
+        groups = [g.rows for g in publication.groups]
+    elif isinstance(publication, GeneralizedTable):
+        groups = [ec.rows for ec in publication.classes]
+    else:
+        raise TypeError(f"unsupported publication type {type(publication)!r}")
+    n = publication.source.n_rows
+    all_rows = (
+        np.concatenate(groups) if groups else np.empty(0, dtype=np.int64)
+    )
+    membership = np.bincount(all_rows, minlength=n)
+    if membership.shape[0] != n or np.any(membership != 1):
+        raise ValueError(
+            "publication's groups must cover every source row exactly once"
+        )
+    return groups
 
 
 def definetti_attack(
@@ -147,7 +163,7 @@ def random_assignment_baseline(publication, seed: int = 0) -> AttackResult:
     """
     table: Table = publication.source
     rng = np.random.default_rng(seed)
-    predictions = np.empty(table.n_rows, dtype=np.int64)
+    predictions = np.full(table.n_rows, -1, dtype=np.int64)
     for rows in _groups_of(publication):
         values = table.sa[rows].copy()
         rng.shuffle(values)

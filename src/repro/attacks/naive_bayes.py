@@ -22,6 +22,11 @@ frequent SA value; its accuracy should stay near ``max_i p_i``
 :class:`~repro.dataset.published.GeneralizedTable` and reports accuracy
 against the true SA values; ``naive_bayes_attack_raw`` trains on the
 original microdata as the no-anonymization upper bound.
+
+The per-EC box-scatter in ``_conditional_matrix_generalized`` is the
+*scalar reference*; the batched audit engine
+(:mod:`repro.audit.attacks`) builds the same conditionals by a
+difference-array cumulative sum with bit-identical predictions.
 """
 
 from __future__ import annotations

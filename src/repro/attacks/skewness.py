@@ -13,6 +13,10 @@ frequencies, each individually bounded).
   quantity; note measured β = skewness_gain − 1 on the gaining side).
 * ``similarity_gain`` — the same ratio at the granularity of semantic
   groups, e.g. the Fig. 1 disease categories or salary bands.
+
+The per-EC argmax loops here are the *scalar references*; the batched
+audit engine (:mod:`repro.audit.attacks`) evaluates the same ratios as
+one matrix pass over the publication view with identical reports.
 """
 
 from __future__ import annotations
@@ -71,8 +75,13 @@ def similarity_gain(
     group_p = np.array([p[list(g)].sum() for g in groups])
     best = GainReport(1.0, -1, -1)
     for g, ec in enumerate(published):
-        q = ec.sa_distribution()
-        group_q = np.array([q[list(gr)].sum() for gr in groups])
+        # Sum the integer counts, then divide once: the group frequency
+        # is exact regardless of summation order (a float sum of
+        # per-value frequencies is not), which keeps the batched audit
+        # kernel bit-identical by construction.
+        group_q = np.array(
+            [ec.sa_counts[list(gr)].sum() for gr in groups]
+        ) / ec.size
         with np.errstate(divide="ignore", invalid="ignore"):
             ratio = np.where(
                 group_p > _EPS, group_q / np.where(group_p > _EPS, group_p, 1.0),

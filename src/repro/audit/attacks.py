@@ -1,0 +1,222 @@
+"""Batched §2/§6.3/§7 attack measurements on publication views.
+
+Matrix-form reimplementations of the scalar references in
+:mod:`repro.attacks.skewness` (per-EC argmax loops),
+:mod:`repro.attacks.corruption` (per-row set membership and per-row
+residual decrements) and :mod:`repro.attacks.naive_bayes` (per-EC box
+scatter): each runs on the shared :class:`~repro.audit.view.PublicationView`
+count matrix, and each result is asserted bit/float-identical to its
+scalar reference by ``tests/test_audit.py`` and
+``benchmarks/bench_audit.py``.
+
+The corruption sample follows the repo-wide rng contract (an int seed
+or a ``numpy.random.Generator``; ``None`` raises), so a batched attack
+given the same seed draws exactly the scalar reference's corrupted set.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..attacks.corruption import CompositionReport, CorruptionReport
+from ..attacks.naive_bayes import AttackResult, _predict
+from ..attacks.skewness import GainReport
+from ..rng import coerce_rng
+from .view import publication_view
+
+_EPS = 1e-12  # matches repro.attacks.skewness._EPS
+
+#: Pairs per composition chunk; bounds the (pairs, m) working set.
+_PAIR_CHUNK = 8192
+
+
+# ----------------------------------------------------------------------
+# Skewness / similarity (§2)
+# ----------------------------------------------------------------------
+
+
+def _best_gain(ratios: np.ndarray) -> GainReport:
+    """The scalar loops' selection rule: per-EC argmax, then the first
+    EC whose maximum strictly exceeds the no-gain floor of 1.0."""
+    idx = np.argmax(ratios, axis=1)
+    vals = ratios[np.arange(ratios.shape[0]), idx]
+    g = int(np.argmax(vals))
+    if vals[g] > 1.0:
+        return GainReport(float(vals[g]), int(idx[g]), g)
+    return GainReport(1.0, -1, -1)
+
+
+def _gain_ratios(q: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """``q/p`` per group and value, 0 where q has no mass, inf where
+    only p is empty — the scalar references' exact formula, row-batched."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratios = np.where(
+            p[None, :] > _EPS,
+            q / np.where(p > _EPS, p, 1.0)[None, :],
+            np.inf,
+        )
+    return np.where(q > _EPS, ratios, 0.0)
+
+
+def skewness_gain(published) -> GainReport:
+    """Worst-case per-value confidence jump ``max q_i / p_i`` (batched)."""
+    view = publication_view(published)
+    return _best_gain(
+        _gain_ratios(view.distributions, view.global_distribution)
+    )
+
+
+def similarity_gain(
+    published, groups: Sequence[Sequence[int]]
+) -> GainReport:
+    """Worst-case confidence jump at semantic-group granularity
+    (batched)."""
+    view = publication_view(published)
+    p = view.global_distribution
+    group_p = np.array([p[list(g)].sum() for g in groups])
+    # Integer count sums then one division — exact, so bit-identical to
+    # the scalar reference whatever the reduction order.
+    group_q = np.stack(
+        [view.counts[:, list(g)].sum(axis=1) for g in groups], axis=1
+    ) / view.sizes[:, None]
+    return _best_gain(_gain_ratios(group_q, group_p))
+
+
+# ----------------------------------------------------------------------
+# Corruption attack (§6.3)
+# ----------------------------------------------------------------------
+
+
+def corruption_attack(
+    published,
+    n_corrupted: int,
+    rng: np.random.Generator | int = 0,
+) -> CorruptionReport:
+    """Subtract known tuples and re-measure posteriors (batched).
+
+    The per-row set membership and per-row residual decrements of the
+    scalar reference become one ``np.bincount`` over the corrupted rows'
+    ``(group, SA value)`` pairs.  Same rng state in, same report out.
+    """
+    rng = coerce_rng(rng, "corruption_attack")
+    view = publication_view(published)
+    n = view.source.n_rows
+    if not 0 <= n_corrupted <= n:
+        raise ValueError("n_corrupted out of range")
+    corrupted = rng.choice(n, size=n_corrupted, replace=False)
+
+    m = view.counts.shape[1]
+    known = np.bincount(
+        view.class_of[corrupted] * m + view.source.sa[corrupted],
+        minlength=view.n_groups * m,
+    ).reshape(view.n_groups, m)
+    n_known = known.sum(axis=1)
+    alive = n_known < view.sizes  # classes with members left to attack
+    if not alive.any():
+        return CorruptionReport(0.0, 0.0, 0)
+
+    counts = view.counts[alive]
+    sizes = view.sizes[alive]
+    residual = counts - known[alive]
+    remaining = sizes - n_known[alive]
+    top = residual.max(axis=1)
+    return CorruptionReport(
+        baseline_confidence=float((counts.max(axis=1) / sizes).max()),
+        corrupted_confidence=float((top / remaining).max()),
+        exposed_tuples=int(remaining[top == remaining].sum()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Composition attack (§7)
+# ----------------------------------------------------------------------
+
+
+def composition_attack(first, second) -> CompositionReport:
+    """Intersect two publications of the same source rows (batched).
+
+    The scalar reference's row-by-row Python dict over ``(EC₁, EC₂)``
+    pairs becomes one ``np.unique`` over the combined class ids; the
+    per-pair posterior intersections run chunked so the working set
+    stays bounded for 100K-row audits.
+    """
+    view1 = publication_view(first)
+    view2 = publication_view(second)
+    if view1.source is not view2.source:
+        raise ValueError("publications must cover the same source table")
+
+    combined = view1.class_of * view2.n_groups + view2.class_of
+    pair_ids, pair_counts = np.unique(combined, return_counts=True)
+    g1 = pair_ids // view2.n_groups
+    g2 = pair_ids % view2.n_groups
+    q1 = view1.distributions
+    q2 = view2.distributions
+
+    # Full coverage means every class of both publications occurs in
+    # some pair, so the scalar running max over pairs is the global max.
+    single = max(float(q1.max()), float(q2.max()))
+    composed = 0.0
+    pinned = 0
+    for start in range(0, pair_ids.shape[0], _PAIR_CHUNK):
+        stop = start + _PAIR_CHUNK
+        joint = np.minimum(q1[g1[start:stop]], q2[g2[start:stop]])
+        totals = joint.sum(axis=1)
+        valid = totals > 0  # inconsistent intersections draw no inference
+        if not valid.any():
+            continue
+        joint = joint[valid] / totals[valid][:, None]
+        composed = max(composed, float(joint.max()))
+        ones = np.count_nonzero(joint, axis=1) == 1
+        pinned += int(pair_counts[start:stop][valid][ones].sum())
+    return CompositionReport(
+        single_confidence=single,
+        composed_confidence=composed,
+        pinned_tuples=pinned,
+    )
+
+
+# ----------------------------------------------------------------------
+# Naive Bayes attack (§7, Eqs. 15–17)
+# ----------------------------------------------------------------------
+
+
+def naive_bayes_attack(published) -> AttackResult:
+    """Mount the §7 Naive Bayes attack (batched conditionals).
+
+    The scalar reference adds each EC's ``sa_counts`` into every value
+    slot its box covers — a per-EC Python loop.  Here each conditional
+    matrix is built by a difference-array scatter and one cumulative sum
+    per attribute; all summands are integer-valued floats, so the
+    accumulation is exact and the conditionals (hence the predictions)
+    are bit-identical to Eq. 17's reference.
+    """
+    view = publication_view(published)
+    if view.boxes is None:
+        raise TypeError(
+            "the naive Bayes attack needs a generalized publication "
+            "(equivalence classes with boxes)"
+        )
+    table = view.source
+    m = table.sa_cardinality
+    counts = view.counts.astype(float)
+    totals = table.sa_counts().astype(float)
+    conditionals = []
+    for dim, attr in enumerate(table.schema.qi):
+        lo = view.boxes[:, dim, 0] - attr.lo
+        hi = view.boxes[:, dim, 1] - attr.lo
+        diff = np.zeros((attr.cardinality + 1, m), dtype=float)
+        np.add.at(diff, lo, counts)
+        np.add.at(diff, hi + 1, -counts)
+        numerator = np.cumsum(diff[:-1], axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            conditionals.append(
+                np.where(totals > 0, numerator / totals, 0.0)
+            )
+    predictions = _predict(table, conditionals)
+    return AttackResult(
+        accuracy=float(np.mean(predictions == table.sa)),
+        majority_baseline=float(table.sa_distribution().max()),
+        predictions=predictions,
+    )

@@ -1,0 +1,137 @@
+"""The shared per-publication state every batched audit runs on.
+
+A :class:`PublicationView` plays the role the range-bitmap index plays
+for the query layer: everything the §2/§6.3/§7 measurements need from a
+publication, extracted once into dense arrays so each audit is a matrix
+operation instead of a per-EC Python loop:
+
+* ``class_of`` — the group id of every source row, initialized to ``-1``
+  and validated for exact coverage (the uncovered-row ``np.empty``
+  garbage PR 2 eliminated from ``AnatomyAnswerer.group_of`` cannot
+  recur here);
+* ``sizes`` — the group-size vector;
+* ``counts`` — the group×SA count matrix, built in one ``np.bincount``
+  over ``class_of * m + sa``.
+
+Views work for both publication families — :class:`GeneralizedTable`
+equivalence classes and :class:`AnatomyTable` groups — and are memoized
+per publication object (:func:`publication_view`), so a β-sweep that
+measures the same publication under several models builds its matrices
+once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from functools import cached_property
+
+import numpy as np
+
+from ..anonymity.anatomy import AnatomyTable
+from ..dataset.table import Table
+
+
+def group_rows_of(publication) -> list[np.ndarray]:
+    """Member-row arrays of any group-based publication.
+
+    Accepts a :class:`~repro.dataset.published.GeneralizedTable` (or any
+    object exposing ``classes`` of row sets) and an
+    :class:`~repro.anonymity.anatomy.AnatomyTable`.
+    """
+    if isinstance(publication, AnatomyTable):
+        return [g.rows for g in publication.groups]
+    classes = getattr(publication, "classes", None)
+    if classes is not None:
+        return [ec.rows for ec in classes]
+    raise TypeError(f"unsupported publication type {type(publication)!r}")
+
+
+class PublicationView:
+    """Dense per-publication arrays shared by all batched audits.
+
+    Attributes:
+        source: The source :class:`~repro.dataset.table.Table`.
+        n_groups: Number of equivalence classes / Anatomy groups.
+        class_of: ``(n_rows,)`` int64 group id per source row.
+        sizes: ``(G,)`` int64 group sizes.
+        counts: ``(G, m)`` int64 SA-value histogram per group.
+        boxes: ``(G, n_qi, 2)`` generalized intervals when the
+            publication carries boxes (``GeneralizedTable``), else None.
+    """
+
+    def __init__(self, publication):
+        groups = group_rows_of(publication)
+        source: Table = publication.source
+        n, m = source.n_rows, source.sa_cardinality
+
+        class_of = np.full(n, -1, dtype=np.int64)
+        covered = 0
+        for g, rows in enumerate(groups):
+            class_of[rows] = g
+            covered += rows.shape[0]
+        if covered != n or np.any(class_of < 0):
+            uncovered = int(np.count_nonzero(class_of < 0))
+            raise ValueError(
+                f"publication does not partition the table: {uncovered} "
+                f"of {n} rows uncovered, {covered} group memberships"
+            )
+
+        self.source = source
+        self.n_groups = len(groups)
+        self.class_of = class_of
+        self.counts = np.bincount(
+            class_of * m + source.sa, minlength=self.n_groups * m
+        ).reshape(self.n_groups, m)
+        self.sizes = self.counts.sum(axis=1)
+        self.boxes = self._extract_boxes(publication)
+        # Per-metric memo (per-EC gain/EMD vectors etc.); one view is
+        # audited under several models, and the sweeps reuse the entries.
+        self.memo: dict = {}
+
+    @staticmethod
+    def _extract_boxes(publication) -> np.ndarray | None:
+        classes = getattr(publication, "classes", None)
+        if classes is None or not all(hasattr(ec, "box") for ec in classes):
+            return None
+        return np.array([ec.box for ec in classes], dtype=np.int64)
+
+    @cached_property
+    def distributions(self) -> np.ndarray:
+        """``(G, m)`` float64 per-group SA distributions (``Q`` rows)."""
+        return self.counts / self.sizes[:, None]
+
+    @cached_property
+    def global_distribution(self) -> np.ndarray:
+        """The source table's overall SA distribution ``P``."""
+        return self.source.sa_distribution()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PublicationView({self.n_groups} groups over "
+            f"{self.source.n_rows} rows)"
+        )
+
+
+# Views are keyed by publication identity: AnatomyTable is an unhashable
+# dataclass, so a WeakKeyDictionary (the query layer's idiom for Table
+# keys) cannot hold it; a finalizer evicts the entry when the
+# publication is collected, which also prevents id-reuse aliasing.
+_VIEWS: dict[int, PublicationView] = {}
+
+
+def publication_view(publication) -> PublicationView:
+    """The memoized :class:`PublicationView` for ``publication``."""
+    if isinstance(publication, PublicationView):
+        return publication
+    key = id(publication)
+    view = _VIEWS.get(key)
+    if view is None:
+        view = PublicationView(publication)
+        _VIEWS[key] = view
+        weakref.finalize(publication, _VIEWS.pop, key, None)
+    return view
+
+
+def clear_view_cache() -> None:
+    """Drop all memoized views (benchmarks time cold builds)."""
+    _VIEWS.clear()

@@ -11,14 +11,21 @@ plus the same attack against BUREL publications across β.
 Expected shapes: attack accuracy decreases in ℓ and hugs the floor for
 large ℓ; against BUREL it stays near the floor for every β — the §7
 argument, quantified end-to-end.
+
+Both sweeps measure through :func:`repro.audit.audit_publications`
+(attack plus its random-assignment floor per publication, with
+coverage-validated group extraction) — numbers unchanged from the
+direct per-publication calls.
 """
 
 from __future__ import annotations
 
 import argparse
 
+import numpy as np
+
 from ..anonymity import anatomize
-from ..attacks import definetti_attack, random_assignment_baseline
+from ..audit import audit_publications
 from ..core import burel
 from .runner import (
     ExperimentConfig,
@@ -26,8 +33,6 @@ from .runner import (
     add_common_args,
     config_from_args,
 )
-
-import numpy as np
 
 DEFAULT_CONFIG = ExperimentConfig(n=10_000, correlation=0.9)
 ELLS = (2, 3, 5, 7, 10)
@@ -38,16 +43,19 @@ def run_anatomy_sweep(
 ) -> ExperimentResult:
     """Attack accuracy vs Anatomy's ℓ."""
     table = config.table()
-    series: dict[str, list[float]] = {
-        "deFinetti": [],
-        "random assignment": [],
+    publications = {
+        f"l={l}": anatomize(table, l, rng=np.random.default_rng(0))
+        for l in ELLS
     }
-    for l in ELLS:
-        published = anatomize(table, l, rng=np.random.default_rng(0))
-        attack = definetti_attack(published, max_iterations=10)
-        floor = random_assignment_baseline(published)
-        series["deFinetti"].append(attack.accuracy)
-        series["random assignment"].append(floor.accuracy)
+    reports = audit_publications(
+        table, publications, attacks=("definetti",), definetti_iterations=10
+    )
+    series: dict[str, list[float]] = {
+        "deFinetti": [r.definetti.accuracy for r in reports.values()],
+        "random assignment": [
+            r.definetti_baseline.accuracy for r in reports.values()
+        ],
+    }
     return ExperimentResult(
         name="definetti_anatomy",
         title="deFinetti attack vs Anatomy's l (Cormode's §7 observation)",
@@ -62,15 +70,22 @@ def run_burel_sweep(
 ) -> ExperimentResult:
     """Attack accuracy vs BUREL's β (should hug the majority floor)."""
     table = config.table()
-    series: dict[str, list[float]] = {
-        "deFinetti on BUREL": [],
-        "majority baseline": [],
+    # Keyed by sweep position so repeated betas keep their own entries.
+    publications = {
+        f"{i}:beta={beta}": burel(table, beta).published
+        for i, beta in enumerate(config.betas)
     }
-    for beta in config.betas:
-        published = burel(table, beta).published
-        attack = definetti_attack(published, max_iterations=10)
-        series["deFinetti on BUREL"].append(attack.accuracy)
-        series["majority baseline"].append(attack.majority_baseline)
+    reports = audit_publications(
+        table, publications, attacks=("definetti",), definetti_iterations=10
+    )
+    series: dict[str, list[float]] = {
+        "deFinetti on BUREL": [
+            r.definetti.accuracy for r in reports.values()
+        ],
+        "majority baseline": [
+            r.definetti.majority_baseline for r in reports.values()
+        ],
+    }
     return ExperimentResult(
         name="definetti_burel",
         title="deFinetti attack vs BUREL's beta",

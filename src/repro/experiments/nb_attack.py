@@ -6,13 +6,18 @@ with the default 3-attribute QI, should predict SA values with accuracy
 (≈ 4.84%) for every β — β-likeness caps the conditional-vs-marginal
 ratios the classifier exploits.  The raw-data upper bound and the
 majority baseline are reported alongside for calibration.
+
+The per-publication attack runs through the batched audit engine
+(:func:`repro.audit.naive_bayes_attack`), whose difference-array
+conditional build is bit-identical to the per-EC Eq. 17 reference.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from ..attacks import naive_bayes_attack, naive_bayes_attack_raw
+from ..attacks import naive_bayes_attack_raw
+from ..audit import naive_bayes_attack
 from ..core import burel
 from .runner import (
     ExperimentConfig,

@@ -13,6 +13,9 @@ Mondrian partitioner; the published tables are then re-measured under
 *uncontrolled* — large, and growing with the budget — for every
 divergence, including the information-theoretic ones, while the
 divergence each scheme enforces is, by construction, satisfied.
+
+Measurement runs through the batched audit engine (:mod:`repro.audit`),
+numerically identical to the scalar ``repro.metrics`` reference.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from __future__ import annotations
 import argparse
 
 from ..anonymity import js_closeness, kl_closeness, mondrian, t_closeness
-from ..metrics import measured_beta
+from ..audit import measured_beta
 from .runner import (
     ExperimentConfig,
     ExperimentResult,

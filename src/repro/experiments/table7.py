@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 
-from ..metrics import average_l, average_t, measured_l, measured_t
+from ..audit import audit_publications
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -30,19 +30,28 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """The §7 table: β → (t, Avg t, ℓ, Avg ℓ).
 
     The β sweep runs as one staged-engine batch sharing per-table
-    preprocessing, like the other BUREL sweeps.
+    preprocessing, and the measurement side is one
+    :func:`~repro.audit.audit_publications` batch: all four reported
+    columns read off each publication's cached view.
     """
     table = config.table()
     results = run_algorithms(
         table, [("burel", {"beta": beta}) for beta in config.betas]
     )
+    # Keyed by sweep position, not by β: a config with repeated betas
+    # must keep one series entry per sweep point.
+    publications = {
+        f"{i}:beta={beta}": result.published
+        for i, (beta, result) in enumerate(zip(config.betas, results))
+    }
+    reports = audit_publications(table, publications, ordered_emd=True)
     series: dict[str, list[float]] = {"t": [], "Avg t": [], "l": [], "Avg l": []}
-    for result in results:
-        published = result.published
-        series["t"].append(measured_t(published, ordered=True))
-        series["Avg t"].append(average_t(published, ordered=True))
-        series["l"].append(measured_l(published))
-        series["Avg l"].append(average_l(published))
+    for name in publications:
+        profile = reports[name].privacy
+        series["t"].append(profile.t)
+        series["Avg t"].append(profile.avg_t)
+        series["l"].append(profile.l)
+        series["Avg l"].append(profile.avg_l)
     return ExperimentResult(
         name="table7",
         title="closeness and diversity achieved by BUREL (Section 7 table)",

@@ -11,6 +11,11 @@ and evaluate every EC against the source table's overall distribution
 ``P``; "measured X" is the worst case over ECs, and the ``Avg`` variants
 (used by the §7 table) are EC averages, unweighted, as the paper reports
 per-EC statistics.
+
+These per-EC generator passes are the *scalar references*; the batched
+audit engine (:mod:`repro.audit.metrics`) computes every parameter from
+one publication-view distribution matrix with bit/float-identical
+results, and the experiments measure through it.
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ These standard SDC measures complement the model-level metrics:
 * :func:`risk_profile` summarizes both across the table; the
   ``at_risk`` count uses the conventional threshold of tuples whose
   re-identification probability exceeds a tolerance (default 0.05).
+
+These per-EC loops are the *scalar references*; the batched audit
+engine (:mod:`repro.audit.metrics`) computes the same vectors as single
+gathers through the publication view's ``class_of`` array with
+bit-identical results.
 """
 
 from __future__ import annotations
@@ -55,22 +60,35 @@ class RiskProfile:
         )
 
 
+def _check_coverage(out: np.ndarray, what: str) -> np.ndarray:
+    # Both risk vectors are probabilities in (0, 1]; a negative entry is
+    # the -1 sentinel of a row no EC covered.  np.empty here used to
+    # hand such rows uninitialized garbage risks.
+    uncovered = int(np.count_nonzero(out < 0))
+    if uncovered:
+        raise ValueError(
+            f"publication's ECs do not cover the table: {uncovered} rows "
+            f"have no {what}"
+        )
+    return out
+
+
 def reidentification_risks(published: GeneralizedTable) -> np.ndarray:
     """Per-tuple prosecutor risk ``1 / |G|`` over the source row order."""
-    out = np.empty(published.n_rows, dtype=float)
+    out = np.full(published.n_rows, -1.0)
     for ec in published:
         out[ec.rows] = 1.0 / ec.size
-    return out
+    return _check_coverage(out, "re-identification risk")
 
 
 def attribute_disclosure_risks(published: GeneralizedTable) -> np.ndarray:
     """Per-tuple posterior in the tuple's own SA value, ``q_v^G``."""
     table = published.source
-    out = np.empty(table.n_rows, dtype=float)
+    out = np.full(table.n_rows, -1.0)
     for ec in published:
         dist = ec.sa_distribution()
         out[ec.rows] = dist[table.sa[ec.rows]]
-    return out
+    return _check_coverage(out, "attribute-disclosure risk")
 
 
 def risk_profile(

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..dataset.schema import Schema
 from ..dataset.table import Table
+from ..rng import coerce_rng
 
 
 @dataclass(frozen=True)
@@ -107,14 +108,7 @@ def make_workload(
             "random" workload across what they believe are independent
             draws.
     """
-    if rng is None:
-        raise TypeError(
-            "make_workload requires an int seed or a numpy Generator; "
-            "rng=None is ambiguous (the historical behaviour silently "
-            "seeded 0 — pass rng=0 to keep it)"
-        )
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
+    rng = coerce_rng(rng, "make_workload")
     return [make_query(schema, lam, theta, rng) for _ in range(n_queries)]
 
 

@@ -1,0 +1,29 @@
+"""The repo-wide randomness contract, in one place.
+
+Every randomized surface (workload generation, the corruption attack,
+the audit entry point) accepts an int seed or a
+``numpy.random.Generator`` and rejects ``None``: a caller must not be
+able to believe it asked for fresh randomness while silently sharing
+the historical seed 0.  Deterministic-by-default surfaces document
+their explicit default seed instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def coerce_rng(
+    rng: np.random.Generator | int | None, caller: str
+) -> np.random.Generator:
+    """Resolve ``rng`` under the uniform contract, naming the caller in
+    the error so the fix is obvious at the call site."""
+    if rng is None:
+        raise TypeError(
+            f"{caller} requires an int seed or a numpy Generator; "
+            "rng=None is ambiguous (the historical behaviour silently "
+            "seeded 0 — pass rng=0 to keep it)"
+        )
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

@@ -80,6 +80,14 @@ class TestShapes:
         assert set(result.series) == {"t", "Avg t", "l", "Avg l"}
         assert all(v >= 1 for v in result.series["l"])
 
+    def test_table7_handles_repeated_betas(self):
+        # The audit batch is keyed per sweep point: duplicate betas must
+        # not collapse into one series entry.
+        cfg = ExperimentConfig(n=4_000, betas=(2.0, 2.0, 3.0))
+        result = table7.run(cfg)
+        assert len(result.series["t"]) == 3
+        assert result.series["t"][0] == result.series["t"][1]
+
     def test_nb_attack_near_baseline(self):
         result = nb_attack.run(SMALL)
         for acc, base in zip(
