@@ -1,10 +1,11 @@
 """Setuptools shim.
 
-The reproduction environment is offline with setuptools 65 and no
-``wheel`` package, so PEP 660 editable installs (``pip install -e .``)
-cannot build a wheel.  This shim enables the legacy path::
-
-    python setup.py develop
+``pip install -e .`` (or, in offline environments without ``wheel``
+where PEP 660 editable installs cannot build, the legacy
+``python setup.py develop``) installs the package and exposes the
+``repro`` console entry point declared in ``pyproject.toml``, so the
+``repro generalize/perturb/publish/query`` subcommands run outside the
+checkout.
 
 All project metadata lives in ``pyproject.toml``.
 """

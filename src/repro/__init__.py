@@ -22,9 +22,19 @@ All schemes are also reachable through the unified staged engine::
 
     result = run("burel", table, beta=4.0)   # or sabre/mondrian/...
     print(result.stage_seconds)
+
+Publications persist and serve through the service layer::
+
+    from repro.service import PublicationStore, QueryService, publish_run
+
+    store = PublicationStore("pubs/")
+    result, record = publish_run(store, "burel", table,
+                                 requirement={"beta": 4.0})
+    with QueryService(store) as service:
+        estimates = service.answer(record.pub_id, workload)
 """
 
-from . import audit, engine
+from . import audit, engine, service
 from .audit import audit_publications
 from .core import (
     BetaLikeness,
@@ -46,6 +56,7 @@ from .metrics import (
     measured_t,
     privacy_profile,
 )
+from .service import PublicationStore, QueryService, publish_run
 
 __version__ = "1.0.0"
 
@@ -53,6 +64,10 @@ __all__ = [
     "audit",
     "audit_publications",
     "engine",
+    "service",
+    "PublicationStore",
+    "QueryService",
+    "publish_run",
     "BetaLikeness",
     "BurelResult",
     "PerturbationScheme",

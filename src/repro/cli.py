@@ -1,26 +1,39 @@
-"""Command-line anonymization of CSV microdata.
+"""Command-line anonymization, publication and query serving.
 
 Usage::
 
-    python -m repro.cli generalize data.csv --qi Age,Gender,Zip \\
-        --numerical Age,Zip --sensitive Disease --beta 2 -o out.csv
-    python -m repro.cli generalize data.csv --qi Age --numerical Age \\
-        --sensitive Disease --algorithm mondrian --beta 2 -o out.csv
-    python -m repro.cli perturb data.csv --qi Age --numerical Age \\
+    repro generalize data.csv --qi Age,Gender,Zip --numerical Age,Zip \\
         --sensitive Disease --beta 2 -o out.csv
+    repro generalize data.csv --qi Age --numerical Age \\
+        --sensitive Disease --algorithm anatomy --l 3 -o out.csv
+    repro perturb data.csv --qi Age --numerical Age \\
+        --sensitive Disease --beta 2 -o out.csv
+    repro publish data.csv --store pubs/ --qi Age --numerical Age \\
+        --sensitive Disease --algorithm burel --beta 2
+    repro query --store pubs/ --id 3fa9 --queries 1000 --theta 0.1
+
+(``python -m repro.cli`` works identically when the console script is
+not installed.)
 
 ``generalize`` runs a generalization scheme from the engine registry
-(BUREL by default; ``--algorithm`` selects sabre/mondrian/fulldomain)
-and writes one row per tuple with generalized QI cells; ``perturb`` runs
-the Section 5 randomized-response scheme and writes exact QI cells with
-randomized sensitive values plus a JSON sidecar carrying the transition
-matrix.  Both print the measured privacy of the publication and the
-engine's per-stage timings.
+(BUREL by default; ``--algorithm`` selects sabre/mondrian/fulldomain/
+anatomy) and writes one row per tuple with generalized QI cells (for
+``anatomy``, exact QI cells with a group id plus the SA-multiset JSON
+sidecar); ``perturb`` runs the Section 5 randomized-response scheme and
+writes exact QI cells with randomized sensitive values plus a JSON
+sidecar carrying the transition matrix.
+
+``publish`` anonymizes and admits the publication to a
+:class:`~repro.service.PublicationStore` — admission runs the audit
+layer and **refuses** publications whose measured privacy violates the
+declared β/t/ℓ requirement.  ``query`` answers a COUNT workload against
+a stored publication through the micro-batching
+:class:`~repro.service.QueryService`.
 
 ``--seed`` feeds the engine's uniform rng parameter: omitted means the
 algorithm's deterministic behaviour (e.g. BUREL's Hilbert sweep); given,
-it seeds the randomized variant (seed tuples for BUREL, the response
-randomization for ``perturb``).
+it seeds the randomized variant.  ``--verbose`` surfaces the engine's
+per-stage timings (and the service's batching statistics).
 
 Categorical QI columns get flat hierarchies from their observed values;
 for domain hierarchies, use the library API instead.
@@ -29,20 +42,36 @@ for domain hierarchies, use the library API instead.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from .engine import run as engine_run
-from .io import load_csv_table, write_generalized_csv, write_perturbed_csv
+from .io import (
+    load_csv_table,
+    write_anatomy_csv,
+    write_generalized_csv,
+    write_perturbed_csv,
+)
 from .metrics import average_information_loss, privacy_profile
 
 #: Registry algorithms whose output format ``generalize`` can write.
-GENERALIZERS = ("burel", "sabre", "mondrian", "fulldomain")
+GENERALIZERS = ("burel", "sabre", "mondrian", "fulldomain", "anatomy")
+
+#: Registry algorithms ``publish`` can admit to a store.
+PUBLISHABLE = GENERALIZERS + ("perturb",)
 
 
 def _add_io_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("input", help="CSV file with a header row")
+    _add_table_args(parser)
+    _add_model_args(parser)
+    parser.add_argument("-o", "--output", required=True)
+    _add_run_args(parser)
+
+
+def _add_table_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--qi", required=True,
         help="comma-separated quasi-identifier columns",
@@ -54,32 +83,106 @@ def _add_io_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sensitive", required=True, help="the sensitive column"
     )
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--beta", type=float, default=2.0)
     parser.add_argument(
         "--basic", action="store_true",
         help="use basic beta-likeness (Definition 2) instead of enhanced",
     )
-    parser.add_argument("-o", "--output", required=True)
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=None,
         help="rng seed; omit for the deterministic variant",
     )
-
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__)
-    sub = parser.add_subparsers(dest="command", required=True)
-    generalize = sub.add_parser("generalize")
-    _add_io_args(generalize)
-    generalize.add_argument(
-        "--algorithm", choices=GENERALIZERS, default="burel",
-        help="generalization scheme from the engine registry",
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="print the engine's per-stage timings",
     )
-    generalize.add_argument(
+
+
+def _add_algorithm_args(parser: argparse.ArgumentParser, choices) -> None:
+    parser.add_argument(
+        "--algorithm", choices=choices, default="burel",
+        help="publication scheme from the engine registry",
+    )
+    parser.add_argument(
         "--t", type=float, default=0.2,
         help="closeness threshold (sabre only)",
     )
+    parser.add_argument(
+        "--l", type=int, default=2,
+        help="diversity parameter (anatomy only)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generalize = sub.add_parser("generalize")
+    _add_io_args(generalize)
+    _add_algorithm_args(generalize, GENERALIZERS)
+
     _add_io_args(sub.add_parser("perturb"))
+
+    publish = sub.add_parser("publish")
+    publish.add_argument("input", help="CSV file with a header row")
+    publish.add_argument(
+        "--store", required=True, help="publication store directory"
+    )
+    _add_table_args(publish)
+    _add_model_args(publish)
+    _add_algorithm_args(publish, PUBLISHABLE)
+    _add_run_args(publish)
+    publish.add_argument(
+        "--require-beta", type=float, default=None,
+        help="declare a beta contract (default: the algorithm's target)",
+    )
+    publish.add_argument(
+        "--require-t", type=float, default=None,
+        help="declare a t-closeness contract",
+    )
+    publish.add_argument(
+        "--require-l", type=int, default=None,
+        help="declare an l-diversity contract",
+    )
+
+    query = sub.add_parser("query")
+    query.add_argument(
+        "--store", required=True, help="publication store directory"
+    )
+    query.add_argument(
+        "--id", required=True, dest="pub_id",
+        help="publication id (or unique prefix) to query",
+    )
+    query.add_argument(
+        "--queries", type=int, default=100,
+        help="number of random COUNT queries to generate",
+    )
+    query.add_argument(
+        "--lam", type=int, default=None,
+        help="QI predicates per query (default: all QI attributes)",
+    )
+    query.add_argument(
+        "--theta", type=float, default=0.1,
+        help="expected query selectivity",
+    )
+    query.add_argument(
+        "--workload-seed", type=int, default=0,
+        help="workload generation seed",
+    )
+    query.add_argument(
+        "-o", "--output", default=None,
+        help="write queries + estimates as JSON",
+    )
+    query.add_argument(
+        "--verbose", action="store_true",
+        help="print service batching statistics",
+    )
     return parser
 
 
@@ -87,8 +190,8 @@ def _split(arg: str) -> list[str]:
     return [part for part in arg.split(",") if part]
 
 
-def _generalize_params(args: argparse.Namespace) -> dict:
-    """Engine parameters for the selected generalization algorithm.
+def _algorithm_params(args: argparse.Namespace) -> dict:
+    """Engine parameters for the selected algorithm.
 
     Flags that do not apply to the selected algorithm are called out
     rather than silently ignored.
@@ -96,18 +199,47 @@ def _generalize_params(args: argparse.Namespace) -> dict:
     enhanced = not args.basic
     if args.algorithm in ("mondrian", "fulldomain") and args.seed is not None:
         print(f"note: --seed has no effect; {args.algorithm} is deterministic")
-    if args.algorithm == "burel":
+    if args.algorithm in ("burel", "perturb"):
         return {"beta": args.beta, "enhanced": enhanced}
     if args.algorithm == "sabre":
         if args.beta != 2.0 or args.basic:
             print("note: --beta/--basic have no effect for sabre; use --t")
         return {"t": args.t}
+    if args.algorithm == "anatomy":
+        if args.beta != 2.0 or args.basic:
+            print("note: --beta/--basic have no effect for anatomy; use --l")
+        return {"l": args.l}
     # mondrian / fulldomain run with the beta-likeness constraint so the
     # beta flag means the same thing across algorithms.
     return {"kind": "beta", "beta": args.beta, "enhanced": enhanced}
 
 
-def _print_stages(result) -> None:
+def _requirement(args: argparse.Namespace) -> dict:
+    """The privacy contract ``publish`` declares for the store gate.
+
+    Explicit ``--require-*`` flags win; otherwise the contract defaults
+    to the algorithm's own target parameter.
+    """
+    explicit = {}
+    if args.require_beta is not None:
+        explicit["beta"] = args.require_beta
+        explicit["enhanced"] = not args.basic
+    if args.require_t is not None:
+        explicit["t"] = args.require_t
+    if args.require_l is not None:
+        explicit["l"] = args.require_l
+    if explicit:
+        return explicit
+    if args.algorithm == "sabre":
+        return {"t": args.t}
+    if args.algorithm == "anatomy":
+        return {"l": args.l}
+    return {"beta": args.beta, "enhanced": not args.basic}
+
+
+def _print_stages(result, verbose: bool) -> None:
+    if not verbose:
+        return
     stages = "  ".join(
         f"{name}={seconds:.3f}s"
         for name, seconds in result.stage_seconds.items()
@@ -115,8 +247,7 @@ def _print_stages(result) -> None:
     print(f"stages: {stages}")
 
 
-def run(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _load_table(args: argparse.Namespace):
     table = load_csv_table(
         args.input,
         qi_names=_split(args.qi),
@@ -126,31 +257,136 @@ def run(argv: list[str] | None = None) -> int:
     print(f"loaded {table.n_rows} tuples, "
           f"{table.schema.n_qi} QI attributes, "
           f"{table.sa_cardinality} sensitive values")
+    return table
 
-    if args.command == "generalize":
-        result = engine_run(
-            args.algorithm, table, rng=args.seed, **_generalize_params(args)
-        )
-        write_generalized_csv(result.published, args.output)
-        print(f"published {len(result.published)} equivalence classes "
-              f"-> {args.output}")
-        _print_stages(result)
-        print(f"measured privacy: {privacy_profile(result.published)}")
-        print(f"average information loss: "
-              f"{average_information_loss(result.published):.4f}")
-    else:
-        seed = args.seed if args.seed is not None else 0
-        result = engine_run(
-            "perturb", table,
-            rng=np.random.default_rng(seed),
-            beta=args.beta, enhanced=not args.basic,
-        )
-        write_perturbed_csv(result.published, args.output)
-        print(f"perturbed table -> {args.output} (+ .json sidecar)")
-        _print_stages(result)
-        print(f"sensitive values kept intact: "
-              f"{result.published.retention_rate():.2%}")
+
+def _run_generalize(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    result = engine_run(
+        args.algorithm, table, rng=args.seed, **_algorithm_params(args)
+    )
+    if args.algorithm == "anatomy":
+        write_anatomy_csv(result.published, args.output)
+        print(f"published {len(result.published)} anatomy groups "
+              f"-> {args.output} (+ .json sidecar)")
+        _print_stages(result, args.verbose)
+        from .audit.metrics import privacy_profile as audit_privacy_profile
+        from .audit.view import publication_view
+
+        profile = audit_privacy_profile(publication_view(result.published))
+        print(f"measured privacy: {profile}")
+        return 0
+    write_generalized_csv(result.published, args.output)
+    print(f"published {len(result.published)} equivalence classes "
+          f"-> {args.output}")
+    _print_stages(result, args.verbose)
+    print(f"measured privacy: {privacy_profile(result.published)}")
+    print(f"average information loss: "
+          f"{average_information_loss(result.published):.4f}")
     return 0
+
+
+def _run_perturb(args: argparse.Namespace) -> int:
+    table = _load_table(args)
+    seed = args.seed if args.seed is not None else 0
+    result = engine_run(
+        "perturb", table,
+        rng=np.random.default_rng(seed),
+        beta=args.beta, enhanced=not args.basic,
+    )
+    write_perturbed_csv(result.published, args.output)
+    print(f"perturbed table -> {args.output} (+ .json sidecar)")
+    _print_stages(result, args.verbose)
+    print(f"sensitive values kept intact: "
+          f"{result.published.retention_rate():.2%}")
+    return 0
+
+
+def _run_publish(args: argparse.Namespace) -> int:
+    from .service import CertificationError, PublicationStore, publish_run
+
+    table = _load_table(args)
+    store = PublicationStore(args.store)
+    requirement = _requirement(args)
+    rng = args.seed
+    if args.algorithm == "perturb":
+        rng = args.seed if args.seed is not None else 0
+    try:
+        result, record = publish_run(
+            store, args.algorithm, table,
+            requirement=requirement, rng=rng, **_algorithm_params(args)
+        )
+    except CertificationError as exc:
+        print(f"refused: {exc}", file=sys.stderr)
+        return 1
+    _print_stages(result, args.verbose)
+    contract = ", ".join(f"{k}={v}" for k, v in requirement.items())
+    print(f"certified against {contract}")
+    print(f"admitted {record.kind} publication "
+          f"({record.n_rows} rows"
+          + (f", {record.n_groups} groups" if record.n_groups else "")
+          + ")")
+    print(f"id: {record.pub_id}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from .query import make_workload
+    from .service import PublicationStore, QueryService
+
+    store = PublicationStore(args.store)
+    with QueryService(store) as service:
+        try:
+            record = service.load(args.pub_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        schema = service.publication(args.pub_id).source.schema
+        lam = args.lam if args.lam is not None else schema.n_qi
+        workload = make_workload(
+            schema, args.queries, lam, args.theta, rng=args.workload_seed
+        )
+        estimates = service.answer(args.pub_id, workload)
+        if args.verbose:
+            stats = service.stats_snapshot()
+            print(
+                f"served {stats['requests']} requests in "
+                f"{stats['batches']} micro-batches "
+                f"(mean size {stats['mean_batch_size']:.1f})"
+            )
+    print(f"answered {len(workload)} queries against "
+          f"{record.kind} publication {record.pub_id[:12]}")
+    preview = ", ".join(f"{e:.2f}" for e in estimates[:5])
+    print(f"first estimates: {preview}")
+    if args.output:
+        payload = {
+            "publication": record.pub_id,
+            "queries": [
+                {
+                    "qi": [
+                        [dim, lo, hi] for dim, (lo, hi) in query.qi_ranges
+                    ],
+                    "sa": list(query.sa_range),
+                }
+                for query in workload
+            ],
+            "estimates": estimates.tolist(),
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote estimates -> {args.output}")
+    return 0
+
+
+def run(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generalize":
+        return _run_generalize(args)
+    if args.command == "perturb":
+        return _run_perturb(args)
+    if args.command == "publish":
+        return _run_publish(args)
+    return _run_query(args)
 
 
 def main() -> None:  # pragma: no cover - console entry point

@@ -114,8 +114,16 @@ class Pipeline:
         params: Mapping[str, Any],
         rng: np.random.Generator | None = None,
         shared: Any = None,
+        sink: Callable[[RunResult], None] | None = None,
     ) -> RunResult:
-        """Execute the stages in order, timing each."""
+        """Execute the stages in order, timing each.
+
+        ``sink``, when given, receives the finished :class:`RunResult`
+        right after the publish stage — the hook the
+        :mod:`repro.service` publication store uses to certify and
+        persist runs (a sink that raises aborts the run, so nothing is
+        returned for a publication the sink refused).
+        """
         if table.n_rows == 0:
             raise ValueError("cannot anonymize an empty table")
         ctx = PipelineContext(
@@ -132,7 +140,7 @@ class Pipeline:
             raise RuntimeError(
                 f"pipeline {self.algorithm!r} finished without publishing"
             )
-        return RunResult(
+        result = RunResult(
             algorithm=self.algorithm,
             published=ctx.published,
             params=ctx.params,
@@ -140,3 +148,6 @@ class Pipeline:
             provenance=ctx.provenance,
             elapsed_seconds=elapsed,
         )
+        if sink is not None:
+            sink(result)
+        return result

@@ -9,7 +9,7 @@ this single dispatch layer instead of hand-wiring imports.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Protocol, runtime_checkable
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -78,6 +78,7 @@ def run(
     *,
     rng: np.random.Generator | int | None = None,
     shared: Any = None,
+    sink: Callable[[RunResult], None] | None = None,
     **params: Any,
 ) -> RunResult:
     """Anonymize ``table`` with the named algorithm.
@@ -89,6 +90,9 @@ def run(
             deterministic behaviour, an int seed, or a generator.
         shared: Optional :class:`~repro.engine.batch.PreparedTable` with
             precomputed per-table artifacts (see :func:`~repro.engine.batch.run_many`).
+        sink: Optional hook receiving the :class:`RunResult` right after
+            the publish stage (the :mod:`repro.service` store admission
+            path).
         **params: Algorithm parameters; unknown names are rejected.
 
     Returns:
@@ -108,4 +112,6 @@ def run(
         )
     merged = {**algo.defaults, **params}
     pipeline = Pipeline(name, algo.stages())
-    return pipeline.run(table, merged, rng=_resolve_rng(rng), shared=shared)
+    return pipeline.run(
+        table, merged, rng=_resolve_rng(rng), shared=shared, sink=sink
+    )

@@ -1,9 +1,9 @@
 """Serialization of publications to interchange formats.
 
 A data publisher needs artifacts, not Python objects.  This module
-writes the three publication formats to CSV (the microdata itself, in
-the exact shape a recipient would receive) and JSON (the side
-information each scheme publishes along with the data):
+writes the publication formats to CSV (the microdata itself, in the
+exact shape a recipient would receive) and JSON (the side information
+each scheme publishes along with the data):
 
 * a **generalized** table exports one row per tuple with generalized QI
   values (interval strings / hierarchy node labels) and the verbatim SA
@@ -11,7 +11,18 @@ information each scheme publishes along with the data):
 * a **perturbed** table exports exact QI values with randomized SA
   values, plus a JSON sidecar holding the transition matrix ``PM`` and
   the overall SA distribution (Section 5 prescribes publishing both);
+* an **Anatomy** table exports the two-table release of Xiao & Tao:
+  exact QI values tagged with a group id, plus a JSON sidecar holding
+  each group's SA multiset;
 * a generic reader recovers the row streams for downstream tooling.
+
+Beyond the human-readable exports, the module provides a **lossless**
+binary round-trip for every publication kind
+(:func:`publication_payload` / :func:`publication_from_payload`, and the
+file-level :func:`save_publication` / :func:`load_publication`): the
+restored object is answerable and auditable exactly like the original —
+same arrays byte for byte, same schema, same hierarchies.  This is the
+persistence substrate of the :mod:`repro.service` publication store.
 
 CSV writing uses the standard library's ``csv`` module; no dependency
 beyond numpy is introduced.
@@ -25,9 +36,13 @@ from pathlib import Path
 
 import numpy as np
 
-from .core.perturb import PerturbedTable
+from .anonymity.anatomy import AnatomyGroup, AnatomyTable, BaselinePublication
+from .core.perturb import PerturbationScheme, PerturbedTable
 from .dataset.display import describe_interval
-from .dataset.published import GeneralizedTable
+from .dataset.published import EquivalenceClass, GeneralizedTable
+from .dataset.schema import Attribute, AttributeKind, Schema, SensitiveAttribute
+from .dataset.table import Table
+from .hierarchy import Hierarchy, Node
 
 
 def generalized_to_rows(published: GeneralizedTable) -> list[dict[str, str]]:
@@ -49,13 +64,75 @@ def generalized_to_rows(published: GeneralizedTable) -> list[dict[str, str]]:
 
 
 def write_generalized_csv(published: GeneralizedTable, path: str | Path) -> None:
-    """Write a generalized publication as CSV (one line per tuple)."""
-    rows = generalized_to_rows(published)
+    """Write a generalized publication as CSV (one line per tuple).
+
+    The header is derived from the schema, not from the first exported
+    row, so an empty publication produces a valid header-only file
+    instead of crashing.
+    """
+    schema = published.schema
+    names = ["ec"] + [attr.name for attr in schema.qi] + [schema.sensitive.name]
     path = Path(path)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer = csv.DictWriter(handle, fieldnames=names)
         writer.writeheader()
-        writer.writerows(rows)
+        writer.writerows(generalized_to_rows(published))
+
+
+def anatomy_to_rows(published: AnatomyTable) -> list[dict[str, str]]:
+    """One dict per tuple of the QI table: exact QIs plus the group id."""
+    schema = published.source.schema
+    qi = published.source.qi
+    rows: list[dict[str, str]] = []
+    for group_id, group in enumerate(published.groups):
+        for row in group.rows:
+            record = {"group": str(group_id)}
+            for j, attr in enumerate(schema.qi):
+                value = int(qi[row, j])
+                if attr.kind is AttributeKind.CATEGORICAL:
+                    record[attr.name] = attr.hierarchy.leaf_label(value)
+                else:
+                    record[attr.name] = str(value)
+            rows.append(record)
+    return rows
+
+
+def write_anatomy_csv(
+    published: AnatomyTable, path: str | Path, sidecar: str | Path | None = None
+) -> None:
+    """Write an Anatomy publication: QI table as CSV, SA table as JSON.
+
+    The CSV holds one line per tuple with exact QI values and the tuple's
+    group id (Xiao & Tao's quasi-identifier table); the JSON sidecar
+    holds the sensitive table — each group's SA multiset — plus ``l``.
+
+    Args:
+        published: The Anatomy publication.
+        path: CSV destination for the QI table.
+        sidecar: JSON destination for the sensitive table; defaults to
+            ``path`` with a ``.json`` suffix.
+    """
+    schema = published.source.schema
+    names = ["group"] + [attr.name for attr in schema.qi]
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        writer.writerows(anatomy_to_rows(published))
+    sidecar = Path(sidecar) if sidecar is not None else path.with_suffix(".json")
+    payload = {
+        "sensitive_attribute": schema.sensitive.name,
+        "l": published.l,
+        "groups": [
+            {
+                schema.sensitive.values[code]: int(count)
+                for code, count in enumerate(group.sa_counts)
+                if count > 0
+            }
+            for group in published.groups
+        ],
+    }
+    sidecar.write_text(json.dumps(payload, indent=2))
 
 
 def write_perturbed_csv(
@@ -166,3 +243,265 @@ def load_csv_table(
     )
     schema = Schema(attributes, sensitive)
     return Table(schema, np.column_stack(columns), sa)
+
+
+# ----------------------------------------------------------------------
+# Lossless publication round-trip (the repro.service store substrate)
+# ----------------------------------------------------------------------
+
+#: Format tag each serialized payload carries; bump on layout changes.
+PAYLOAD_FORMAT = 1
+
+
+def _hierarchy_spec(node: Node):
+    """A hierarchy node as the nested JSON form ``from_spec`` accepts."""
+    if node.is_leaf:
+        return node.label
+    return [node.label, [_hierarchy_spec(child) for child in node.children]]
+
+
+def schema_to_spec(schema: Schema) -> dict:
+    """A :class:`Schema` as a JSON-serializable specification."""
+    qi = []
+    for attr in schema.qi:
+        if attr.kind is AttributeKind.CATEGORICAL:
+            qi.append(
+                {
+                    "name": attr.name,
+                    "kind": "categorical",
+                    "hierarchy": _hierarchy_spec(attr.hierarchy.root),
+                }
+            )
+        else:
+            qi.append(
+                {
+                    "name": attr.name,
+                    "kind": "numerical",
+                    "lo": attr.lo,
+                    "hi": attr.hi,
+                }
+            )
+    sensitive = {
+        "name": schema.sensitive.name,
+        "values": list(schema.sensitive.values),
+    }
+    if schema.sensitive.hierarchy is not None:
+        sensitive["hierarchy"] = _hierarchy_spec(schema.sensitive.hierarchy.root)
+    return {"qi": qi, "sensitive": sensitive}
+
+
+def schema_from_spec(spec: dict) -> Schema:
+    """Rebuild a :class:`Schema` from :func:`schema_to_spec` output."""
+    qi = []
+    for entry in spec["qi"]:
+        if entry["kind"] == "categorical":
+            qi.append(
+                Attribute.categorical(
+                    entry["name"], Hierarchy.from_spec(entry["hierarchy"])
+                )
+            )
+        else:
+            qi.append(
+                Attribute.numerical(entry["name"], entry["lo"], entry["hi"])
+            )
+    sensitive_spec = spec["sensitive"]
+    hierarchy = None
+    if sensitive_spec.get("hierarchy") is not None:
+        hierarchy = Hierarchy.from_spec(sensitive_spec["hierarchy"])
+    sensitive = SensitiveAttribute(
+        sensitive_spec["name"], tuple(sensitive_spec["values"]), hierarchy
+    )
+    return Schema(qi, sensitive)
+
+
+def _pack_groups(groups: "list[np.ndarray]") -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate row-index groups into (flat rows, offsets) arrays."""
+    offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+    np.cumsum([g.shape[0] for g in groups], out=offsets[1:])
+    flat = (
+        np.concatenate(groups)
+        if groups
+        else np.empty(0, dtype=np.int64)
+    )
+    return flat.astype(np.int64, copy=False), offsets
+
+
+def _unpack_groups(
+    flat: np.ndarray, offsets: np.ndarray
+) -> "list[np.ndarray]":
+    return [
+        flat[offsets[g] : offsets[g + 1]] for g in range(offsets.shape[0] - 1)
+    ]
+
+
+def publication_payload(published) -> tuple[dict, dict]:
+    """Decompose a publication into JSON metadata plus numpy arrays.
+
+    Supports all four answerable publication kinds — generalized,
+    perturbed, Anatomy, and the §6.3 Baseline.  The source table rides
+    along (publications embed it, and the query estimators for exact-QI
+    formats legitimately read the published QI values from it), so the
+    payload is self-contained.
+
+    Returns:
+        ``(meta, arrays)``: ``meta`` is JSON-serializable (``format``,
+        ``kind``, the schema spec, scalar fields); ``arrays`` maps array
+        names to numpy arrays.
+    """
+    source = published.source
+    meta: dict = {
+        "format": PAYLOAD_FORMAT,
+        "schema": schema_to_spec(source.schema),
+    }
+    arrays: dict = {"qi": source.qi, "sa": source.sa}
+    if isinstance(published, GeneralizedTable):
+        meta["kind"] = "generalized"
+        flat, offsets = _pack_groups([ec.rows for ec in published.classes])
+        arrays["group_rows"] = flat
+        arrays["group_offsets"] = offsets
+        # Boxes are stored, not recomputed: full-domain publications use
+        # ladder intervals wider than the member rows' min/max span.
+        arrays["boxes"] = np.array(
+            [ec.box for ec in published.classes], dtype=np.int64
+        )
+    elif isinstance(published, PerturbedTable):
+        meta["kind"] = "perturbed"
+        meta["c_lm"] = published.scheme.c_lm
+        arrays["sa_perturbed"] = published.sa_perturbed
+        scheme = published.scheme
+        arrays.update(
+            domain=scheme.domain,
+            probs=scheme.probs,
+            caps=scheme.caps,
+            gammas=scheme.gammas,
+            alphas=scheme.alphas,
+            matrix=scheme.matrix,
+        )
+    elif isinstance(published, AnatomyTable):
+        meta["kind"] = "anatomy"
+        meta["l"] = published.l
+        flat, offsets = _pack_groups([g.rows for g in published.groups])
+        arrays["group_rows"] = flat
+        arrays["group_offsets"] = offsets
+    elif isinstance(published, BaselinePublication):
+        meta["kind"] = "baseline"
+    else:
+        raise TypeError(
+            f"cannot serialize publication type {type(published).__name__!r}"
+        )
+    return meta, arrays
+
+
+def publication_from_payload(meta: dict, arrays: dict):
+    """Rebuild the publication object from :func:`publication_payload`.
+
+    The round-trip is lossless: every array is byte-identical, so the
+    restored object answers queries and audits exactly like the
+    original.
+    """
+    if meta.get("format") != PAYLOAD_FORMAT:
+        raise ValueError(
+            f"unsupported payload format {meta.get('format')!r}; "
+            f"this build reads format {PAYLOAD_FORMAT}"
+        )
+    schema = schema_from_spec(meta["schema"])
+    table = Table(schema, arrays["qi"], arrays["sa"])
+    kind = meta["kind"]
+    if kind == "generalized":
+        groups = _unpack_groups(arrays["group_rows"], arrays["group_offsets"])
+        boxes = arrays["boxes"]
+        m = table.sa_cardinality
+        classes = [
+            EquivalenceClass(
+                rows=rows,
+                box=tuple(
+                    (int(lo), int(hi)) for lo, hi in boxes[g]
+                ),
+                sa_counts=np.bincount(
+                    table.sa[rows], minlength=m
+                ).astype(np.int64),
+            )
+            for g, rows in enumerate(groups)
+        ]
+        return GeneralizedTable(table, classes)
+    if kind == "perturbed":
+        scheme = PerturbationScheme(
+            domain=arrays["domain"],
+            probs=arrays["probs"],
+            caps=arrays["caps"],
+            gammas=arrays["gammas"],
+            alphas=arrays["alphas"],
+            c_lm=float(meta["c_lm"]),
+            matrix=arrays["matrix"],
+        )
+        return PerturbedTable(
+            source=table, sa_perturbed=arrays["sa_perturbed"], scheme=scheme
+        )
+    if kind == "anatomy":
+        groups = _unpack_groups(arrays["group_rows"], arrays["group_offsets"])
+        m = table.sa_cardinality
+        return AnatomyTable(
+            source=table,
+            groups=tuple(
+                AnatomyGroup(
+                    rows=rows,
+                    sa_counts=np.bincount(
+                        table.sa[rows], minlength=m
+                    ).astype(np.int64),
+                )
+                for rows in groups
+            ),
+            l=int(meta["l"]),
+        )
+    if kind == "baseline":
+        return BaselinePublication(source=table)
+    raise ValueError(f"unknown publication kind {kind!r}")
+
+
+def write_publication_payload(
+    meta: dict, arrays: dict, path: str | Path
+) -> None:
+    """Write an already-decomposed payload as one ``.npz`` archive.
+
+    The JSON metadata travels inside the archive as a ``meta`` entry, so
+    a single file is a complete, losslessly restorable publication.  The
+    archive is written to a temporary sibling and moved into place, so a
+    ``path`` that exists is always a complete archive.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        np.savez(
+            handle,
+            meta=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+            **arrays,
+        )
+    tmp.replace(path)
+
+
+def save_publication(published, path: str | Path) -> None:
+    """Write a publication as one ``.npz`` archive (arrays + metadata)."""
+    meta, arrays = publication_payload(published)
+    write_publication_payload(meta, arrays, path)
+
+
+def read_publication_payload(path: str | Path) -> tuple[dict, dict]:
+    """``(meta, arrays)`` of a :func:`save_publication` archive.
+
+    The shared low-level reader: :func:`load_publication` restores the
+    object directly, while the service store reads the raw payload to
+    verify its content digest first.
+    """
+    with np.load(Path(path)) as archive:
+        meta = json.loads(archive["meta"].tobytes().decode())
+        arrays = {
+            name: archive[name] for name in archive.files if name != "meta"
+        }
+    return meta, arrays
+
+
+def load_publication(path: str | Path):
+    """Restore a publication written by :func:`save_publication`."""
+    return publication_from_payload(*read_publication_payload(path))

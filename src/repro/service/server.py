@@ -1,0 +1,304 @@
+"""In-process concurrent query service over stored publications.
+
+The recipient-facing half of the service layer: clients submit COUNT
+queries against admitted publications and get estimates back.  Three
+mechanisms make the path cheap under heavy traffic:
+
+* **micro-batching** — concurrent requests against the same publication
+  are drained together and encoded into one
+  :class:`~repro.query.workload.EncodedWorkload`, so the batched query
+  engine amortizes mask construction across the batch exactly as the
+  experiment sweeps do;
+* **artifact reuse** — loaded publications live in an LRU cache keyed
+  by publication id; holding the publication keeps its source
+  :class:`~repro.dataset.table.Table` alive, and with it the weakly
+  keyed per-table :class:`~repro.query.evaluate.RangeBitmapIndex` /
+  mask engine, so repeated requests never rebuild indexes;
+* **thread-pool execution** — worker threads serve different
+  publications (or successive batches of one) concurrently; numpy
+  kernels release the GIL for the heavy parts.
+
+Answers are **bit-identical** to calling
+:func:`repro.query.evaluate.evaluate_workload` /
+:func:`~repro.query.evaluate.batch_estimates` directly: per-query
+results do not depend on how requests are grouped into batches, because
+every batch kernel computes each query's estimate independently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..query.evaluate import batch_estimates, make_answerer
+from ..query.workload import CountQuery, EncodedWorkload
+from .store import PublicationRecord, PublicationStore
+
+
+@dataclass
+class _Serving:
+    """One loaded publication plus its warm serving artifacts."""
+
+    record: PublicationRecord
+    publication: object
+    answerer: object
+
+    @property
+    def table(self):
+        return self.publication.source
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+
+@dataclass
+class ServiceStats:
+    """Counters exposed by :meth:`QueryService.stats`."""
+
+    requests: int = 0
+    batches: int = 0
+    batched_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self) -> dict:
+        with self.lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "batched_queries": self.batched_queries,
+                "mean_batch_size": (
+                    self.batched_queries / self.batches if self.batches else 0.0
+                ),
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "cache_evictions": self.cache_evictions,
+            }
+
+
+class QueryService:
+    """Thread-pooled, micro-batching COUNT serving over a store.
+
+    Args:
+        store: The :class:`PublicationStore` to serve from.
+        workers: Size of the serving thread pool.
+        cache_size: Maximum number of publications held loaded (LRU);
+            evicting a publication also releases its weakly keyed
+            bitmap index.
+        max_batch: Upper bound on queries drained into one encoded
+            micro-batch.
+        linger_seconds: How long a worker waits after finding a
+            non-empty queue before draining it, letting concurrent
+            submitters coalesce into one batch (0 drains immediately;
+            under sustained load batches fill while workers are busy,
+            so the linger mainly helps bursty low-load traffic).
+
+    Use as a context manager, or call :meth:`close` to join the pool.
+    """
+
+    def __init__(
+        self,
+        store: PublicationStore,
+        *,
+        workers: int = 2,
+        cache_size: int = 8,
+        max_batch: int = 1024,
+        linger_seconds: float = 0.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self._store = store
+        self._max_batch = max_batch
+        self._linger = linger_seconds
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[str, _Serving]" = OrderedDict()
+        self._aliases: dict[str, str] = {}  # prefix id -> canonical id
+        self._cache_lock = threading.Lock()
+        self._load_locks: dict[str, threading.Lock] = {}
+        self.stats = ServiceStats()
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        # pub_id -> FIFO of (query, future); drained in round-robin order.
+        self._pending: "OrderedDict[str, deque]" = OrderedDict()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, pub_id: str, query: CountQuery) -> Future:
+        """Enqueue one COUNT query; resolves to a float estimate."""
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("the service is closed")
+            queue = self._pending.get(pub_id)
+            if queue is None:
+                queue = deque()
+                self._pending[pub_id] = queue
+            queue.append((query, future))
+            self._cond.notify()
+        with self.stats.lock:
+            self.stats.requests += 1
+        return future
+
+    def answer(
+        self, pub_id: str, queries: Sequence[CountQuery]
+    ) -> np.ndarray:
+        """Submit a whole workload and wait for its estimates, in order."""
+        futures = [self.submit(pub_id, query) for query in queries]
+        return np.array([future.result() for future in futures])
+
+    def load(self, pub_id: str) -> PublicationRecord:
+        """Warm the cache for a publication; returns its record."""
+        return self._serving(pub_id).record
+
+    def publication(self, pub_id: str):
+        """The loaded publication object (cached, answerable)."""
+        return self._serving(pub_id).publication
+
+    def stats_snapshot(self) -> dict:
+        return self.stats.snapshot()
+
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Publication cache
+    # ------------------------------------------------------------------
+
+    def _lookup(self, pub_id: str) -> "_Serving | None":
+        """Cache hit path; canonicalizes prefix ids via the alias map."""
+        canonical = self._aliases.get(pub_id, pub_id)
+        serving = self._cache.get(canonical)
+        if serving is not None:
+            self._cache.move_to_end(canonical)
+            with self.stats.lock:
+                self.stats.cache_hits += 1
+        return serving
+
+    def _serving(self, pub_id: str) -> _Serving:
+        with self._cache_lock:
+            serving = self._lookup(pub_id)
+            if serving is not None:
+                return serving
+            load_lock = self._load_locks.setdefault(pub_id, threading.Lock())
+        try:
+            with load_lock:
+                # Double-check: another thread may have loaded it
+                # meanwhile.
+                with self._cache_lock:
+                    serving = self._lookup(pub_id)
+                    if serving is not None:
+                        return serving
+                record = self._store.record(pub_id)
+                publication = self._store.get(record.pub_id)
+                serving = _Serving(
+                    record=record,
+                    publication=publication,
+                    answerer=make_answerer(publication),
+                )
+                with self._cache_lock:
+                    # Only the canonical id occupies an LRU slot; prefix
+                    # lookups resolve through the alias map, so aliases
+                    # neither consume capacity nor age independently.
+                    if pub_id != record.pub_id:
+                        self._aliases[pub_id] = record.pub_id
+                    self._cache[record.pub_id] = serving
+                    while len(self._cache) > self._cache_size:
+                        self._cache.popitem(last=False)
+                        with self.stats.lock:
+                            self.stats.cache_evictions += 1
+                    with self.stats.lock:
+                        self.stats.cache_misses += 1
+        finally:
+            with self._cache_lock:
+                self._load_locks.pop(pub_id, None)
+        return serving
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _take_batch(self):
+        """Pop up to ``max_batch`` requests of the oldest pending pub."""
+        for pub_id, queue in self._pending.items():
+            batch = []
+            while queue and len(batch) < self._max_batch:
+                batch.append(queue.popleft())
+            if not queue:
+                del self._pending[pub_id]
+            else:
+                # Round-robin fairness between hot publications.
+                self._pending.move_to_end(pub_id)
+            if batch:
+                return pub_id, batch
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._linger > 0 and self._pending and not self._closed:
+                    self._cond.wait(self._linger)
+                taken = self._take_batch()
+                if taken is None:
+                    if self._closed:
+                        return
+                    continue
+            pub_id, batch = taken
+            self._answer_batch(pub_id, batch)
+
+    def _answer_batch(self, pub_id: str, batch: list) -> None:
+        queries = tuple(query for query, _ in batch)
+        futures = [future for _, future in batch]
+        try:
+            serving = self._serving(pub_id)
+            enc = EncodedWorkload.encode(serving.schema, queries)
+            estimates = batch_estimates(
+                serving.table, {"served": serving.answerer}, enc
+            )["served"]
+        except BaseException as exc:  # noqa: BLE001 - forwarded to clients
+            for future in futures:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        with self.stats.lock:
+            self.stats.batches += 1
+            self.stats.batched_queries += len(batch)
+        for future, estimate in zip(futures, estimates):
+            if not future.cancelled():
+                future.set_result(float(estimate))

@@ -1,0 +1,506 @@
+"""Content-addressed publication store with audit-gated admission.
+
+A custodian's artifact shelf: every publication is persisted losslessly
+(:func:`repro.io.publication_payload`) under the SHA-256 digest of its
+logical content, next to a JSON manifest carrying provenance (algorithm,
+parameters, seed) and the audit evidence that justified admission.
+
+Admission is the privacy contract: :meth:`PublicationStore.put` runs the
+batched audit layer against the publication's *declared* requirement —
+β-likeness, t-closeness, or ℓ-diversity — and **raises**
+:class:`CertificationError` when the measured privacy violates it, so
+the store only ever serves publications that honor their contract.
+
+Store layout::
+
+    root/
+      objects/<sha256>/payload.npz     # lossless publication payload
+      objects/<sha256>/manifest.json   # provenance + audit sidecar
+
+Content addressing makes admission idempotent: re-publishing identical
+content is a no-op returning the same id, and two stores built from the
+same publications agree on every id.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..anonymity.anatomy import AnatomyTable, BaselinePublication
+from ..audit import audit_publications
+from ..core.model import BetaLikeness
+from ..core.perturb import PerturbationScheme, PerturbedTable
+from ..dataset.published import GeneralizedTable
+from ..dataset.table import Table
+from ..io import (
+    publication_from_payload,
+    publication_payload,
+    read_publication_payload,
+    write_publication_payload,
+)
+
+#: Requirement keys :func:`certify_publication` understands.
+REQUIREMENT_KEYS = ("beta", "enhanced", "t", "ordered", "l")
+
+#: Numerical slack for measured-vs-declared comparisons (float round-off
+#: in ratios of integer counts).
+_TOLERANCE = 1e-9
+
+
+class CertificationError(ValueError):
+    """A publication's measured privacy violates its declared requirement."""
+
+
+def _check_requirement(requirement: Mapping[str, Any]) -> dict:
+    unknown = set(requirement) - set(REQUIREMENT_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown requirement keys {sorted(unknown)}; "
+            f"accepted: {REQUIREMENT_KEYS}"
+        )
+    if not any(k in requirement for k in ("beta", "t", "l")):
+        raise ValueError(
+            "a requirement must declare at least one of beta, t, l"
+        )
+    return dict(requirement)
+
+
+def _certify_grouped(
+    published, requirement: Mapping[str, Any], *, ordered_emd: bool
+) -> dict:
+    """Audit a group-based publication and compare against the contract."""
+    from ..audit.view import publication_view
+
+    report = audit_publications(
+        published.source, {"candidate": published}, ordered_emd=ordered_emd
+    )["candidate"]
+    privacy = report.privacy
+    failures = []
+    if "beta" in requirement:
+        # Per-value model compliance, not a max-gain comparison: the
+        # enhanced model caps frequent values below (1 + beta) * p, so
+        # measured beta <= declared would wrongly admit publications
+        # violating an enhanced contract.
+        model = BetaLikeness(
+            requirement["beta"], enhanced=requirement.get("enhanced", True)
+        )
+        view = publication_view(published)
+        bound = model.threshold(view.global_distribution)
+        excess = float(
+            (view.distributions - bound[None, :]).max()
+        )
+        if excess > _TOLERANCE:
+            failures.append(
+                f"a group frequency exceeds the declared {model} bound "
+                f"by {excess:.6g} (measured beta {privacy.beta:.6g})"
+            )
+    if "t" in requirement and privacy.t > requirement["t"] + _TOLERANCE:
+        failures.append(
+            f"measured t {privacy.t:.6g} exceeds declared "
+            f"{requirement['t']:.6g}"
+        )
+    if "l" in requirement and privacy.l < requirement["l"]:
+        failures.append(
+            f"measured l {privacy.l} is below declared {requirement['l']}"
+        )
+    if failures:
+        raise CertificationError(
+            "publication refused: " + "; ".join(failures)
+        )
+    return {
+        "privacy": dataclasses.asdict(privacy),
+        "risk": dataclasses.asdict(report.risk),
+    }
+
+
+def _certify_perturbed(
+    published: PerturbedTable, requirement: Mapping[str, Any]
+) -> dict:
+    """Verify a perturbation scheme against a declared β-likeness bound.
+
+    The perturbed publication has no equivalence classes to audit;
+    instead the scheme itself is checked: its posterior caps must not
+    exceed the declared model's ``f(p)`` (Theorem 3's contract), its
+    transition matrix must be the one its retention probabilities imply,
+    and the matrix must be column-stochastic.
+    """
+    if "t" in requirement or "l" in requirement:
+        raise CertificationError(
+            "perturbed publications certify only beta-likeness "
+            "requirements; t/l contracts have no meaning without "
+            "equivalence classes"
+        )
+    scheme = published.scheme
+    # The gate trusts nothing the publication declares about itself: the
+    # scheme's domain and priors must be the embedded source table's
+    # actual SA distribution (what PerturbationScheme.fit derives), or
+    # the cap check below would bound posteriors against fabricated
+    # priors.
+    true_probs = published.source.sa_distribution()
+    true_domain = np.nonzero(true_probs > 0)[0]
+    if not np.array_equal(scheme.domain, true_domain):
+        raise CertificationError(
+            "publication refused: scheme domain does not match the "
+            "source table's present SA values"
+        )
+    expected_probs = true_probs[true_domain] / true_probs[true_domain].sum()
+    if not np.allclose(scheme.probs, expected_probs, atol=1e-12, rtol=0.0):
+        raise CertificationError(
+            "publication refused: scheme priors do not match the source "
+            "table's SA distribution"
+        )
+    model = BetaLikeness(
+        requirement["beta"], enhanced=requirement.get("enhanced", True)
+    )
+    # A cap at the prior grants zero gain, so the effective bound is
+    # max(f(p), p) — exactly what PerturbationScheme.fit enforces.
+    bound = np.maximum(model.threshold(scheme.probs), scheme.probs)
+    slack = float((bound - scheme.caps).min())
+    if slack < -_TOLERANCE:
+        raise CertificationError(
+            f"publication refused: scheme caps exceed the declared "
+            f"{model} bound by {-slack:.6g}"
+        )
+    if np.any(scheme.alphas < -_TOLERANCE) or np.any(
+        scheme.alphas > 1.0 + _TOLERANCE
+    ):
+        raise CertificationError(
+            "publication refused: retention probabilities outside [0, 1]"
+        )
+    expected = PerturbationScheme._transition_matrix(scheme.alphas, scheme.m)
+    if not np.allclose(scheme.matrix, expected, atol=1e-12):
+        raise CertificationError(
+            "publication refused: published transition matrix is "
+            "inconsistent with its retention probabilities"
+        )
+    column_sums = scheme.matrix.sum(axis=0)
+    if not np.allclose(column_sums, 1.0, atol=1e-9):
+        raise CertificationError(
+            "publication refused: transition matrix is not "
+            "column-stochastic"
+        )
+    return {
+        "scheme": {
+            "m": scheme.m,
+            "cap_slack_min": slack,
+            "alpha_min": float(scheme.alphas.min()),
+            "alpha_max": float(scheme.alphas.max()),
+            "c_lm": scheme.c_lm,
+        }
+    }
+
+
+def _certify_baseline(
+    published: BaselinePublication, requirement: Mapping[str, Any]
+) -> dict:
+    """The §6.3 Baseline publishes only the overall SA distribution, so
+    every group-level posterior equals the prior: β-gain and EMD are 0
+    and the diversity is the table's distinct SA count."""
+    distinct = int(np.count_nonzero(published.source.sa_counts()))
+    if "l" in requirement and distinct < requirement["l"]:
+        raise CertificationError(
+            f"publication refused: table holds {distinct} distinct SA "
+            f"values, below declared l={requirement['l']}"
+        )
+    return {"privacy": {"beta": 0.0, "t": 0.0, "l": distinct}}
+
+
+def certify_publication(
+    published, requirement: Mapping[str, Any], *, ordered_emd: bool = False
+) -> dict:
+    """Certify that a publication honors its declared requirement.
+
+    Args:
+        published: Any of the four answerable publication kinds.
+        requirement: The declared privacy contract — keys among
+            ``beta`` (+ ``enhanced``), ``t`` (+ ``ordered``), ``l``.
+        ordered_emd: Measure closeness with the ordered ground distance.
+
+    Returns:
+        The JSON-serializable audit evidence to record in the manifest.
+
+    Raises:
+        CertificationError: The measured privacy violates the contract.
+    """
+    requirement = _check_requirement(requirement)
+    if "ordered" in requirement:
+        ordered_emd = bool(requirement["ordered"])
+    if isinstance(published, (GeneralizedTable, AnatomyTable)):
+        return _certify_grouped(
+            published, requirement, ordered_emd=ordered_emd
+        )
+    if isinstance(published, PerturbedTable):
+        return _certify_perturbed(published, requirement)
+    if isinstance(published, BaselinePublication):
+        return _certify_baseline(published, requirement)
+    raise TypeError(
+        f"cannot certify publication type {type(published).__name__!r}"
+    )
+
+
+def content_digest(meta: dict, arrays: Mapping[str, np.ndarray]) -> str:
+    """SHA-256 of a payload's logical content.
+
+    Hashes the canonical metadata JSON plus each array's name, dtype,
+    shape and raw bytes (names sorted), so the id is independent of
+    archive container details like zip timestamps.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(json.dumps(meta, sort_keys=True).encode())
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        hasher.update(name.encode())
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def _json_safe(value):
+    """Engine params may carry arbitrary objects; degrade them to str."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    return str(value)
+
+
+@dataclass(frozen=True)
+class PublicationRecord:
+    """One admitted publication, as described by its manifest."""
+
+    pub_id: str
+    kind: str
+    algorithm: str | None
+    params: dict
+    seed: int | None
+    requirement: dict
+    audit: dict
+    n_rows: int
+    n_groups: int | None
+
+    @classmethod
+    def from_manifest(cls, manifest: dict) -> "PublicationRecord":
+        return cls(
+            pub_id=manifest["id"],
+            kind=manifest["kind"],
+            algorithm=manifest.get("algorithm"),
+            params=manifest.get("params", {}),
+            seed=manifest.get("seed"),
+            requirement=manifest["requirement"],
+            audit=manifest["audit"],
+            n_rows=manifest["n_rows"],
+            n_groups=manifest.get("n_groups"),
+        )
+
+
+class PublicationStore:
+    """Content-addressed, certification-gated publication persistence."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        published,
+        *,
+        requirement: Mapping[str, Any],
+        algorithm: str | None = None,
+        params: Mapping[str, Any] | None = None,
+        seed: int | None = None,
+        ordered_emd: bool = False,
+    ) -> PublicationRecord:
+        """Certify and persist a publication; returns its record.
+
+        Raises :class:`CertificationError` (without writing anything)
+        when the publication's measured privacy violates ``requirement``.
+        Re-admitting identical content is idempotent on the payload; the
+        manifest records the *most recent* certified contract, so
+        re-publishing under a different (just-certified) requirement
+        refreshes the sidecar rather than returning stale provenance.
+        """
+        audit = certify_publication(
+            published, requirement, ordered_emd=ordered_emd
+        )
+        meta, arrays = publication_payload(published)
+        digest = content_digest(meta, arrays)
+        directory = self._objects / digest
+        n_groups = None
+        if isinstance(published, GeneralizedTable):
+            n_groups = len(published.classes)
+        elif isinstance(published, AnatomyTable):
+            n_groups = len(published.groups)
+        manifest = {
+            "format": meta["format"],
+            "id": digest,
+            "kind": meta["kind"],
+            "algorithm": algorithm,
+            "params": _json_safe(dict(params or {})),
+            "seed": seed,
+            "requirement": _json_safe(dict(requirement)),
+            "audit": _json_safe(audit),
+            "n_rows": published.source.n_rows,
+            "n_groups": n_groups,
+        }
+        directory.mkdir(parents=True, exist_ok=True)
+        # Both files land via temp-name + rename, so whatever exists is
+        # complete: a crash mid-write leaves only a .tmp sibling, and a
+        # payload that survived an earlier admission can be trusted.
+        if not (directory / "payload.npz").exists():
+            write_publication_payload(
+                meta, arrays, directory / "payload.npz"
+            )
+        # Manifest is written last: its presence marks a complete object.
+        manifest_tmp = directory / "manifest.json.tmp"
+        manifest_tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        manifest_tmp.replace(directory / "manifest.json")
+        return PublicationRecord.from_manifest(manifest)
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def ids(self) -> list[str]:
+        """All admitted publication ids, sorted."""
+        return sorted(
+            path.name
+            for path in self._objects.iterdir()
+            if (path / "manifest.json").exists()
+        )
+
+    def resolve(self, pub_id: str) -> str:
+        """Resolve a full id or unique prefix to the stored id."""
+        matches = [i for i in self.ids() if i.startswith(pub_id)]
+        if not matches:
+            raise KeyError(f"no publication with id {pub_id!r}")
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous id prefix {pub_id!r}: {len(matches)} matches"
+            )
+        return matches[0]
+
+    def record(self, pub_id: str) -> PublicationRecord:
+        """The manifest record of one admitted publication."""
+        pub_id = self.resolve(pub_id)
+        manifest = json.loads(
+            (self._objects / pub_id / "manifest.json").read_text()
+        )
+        return PublicationRecord.from_manifest(manifest)
+
+    def records(self) -> list[PublicationRecord]:
+        return [self.record(i) for i in self.ids()]
+
+    def get(self, pub_id: str):
+        """Load a publication back into its answerable object form."""
+        pub_id = self.resolve(pub_id)
+        meta, arrays = read_publication_payload(
+            self._objects / pub_id / "payload.npz"
+        )
+        if content_digest(meta, arrays) != pub_id:
+            raise ValueError(
+                f"payload of {pub_id} does not hash to its id; "
+                "the store object is corrupt"
+            )
+        return publication_from_payload(meta, arrays)
+
+    # ------------------------------------------------------------------
+    # Engine integration
+    # ------------------------------------------------------------------
+
+    def sink(
+        self,
+        requirement: Mapping[str, Any],
+        *,
+        seed: int | None = None,
+        ordered_emd: bool = False,
+    ) -> "StoreSink":
+        """A pipeline sink admitting each run's publication to the store.
+
+        Pass the returned object as ``engine.run(..., sink=...)``; it
+        records every admitted :class:`PublicationRecord` in
+        ``sink.records``.
+        """
+        return StoreSink(
+            self, requirement, seed=seed, ordered_emd=ordered_emd
+        )
+
+
+class StoreSink:
+    """Callable hook wiring ``engine.Pipeline`` runs into a store."""
+
+    def __init__(
+        self,
+        store: PublicationStore,
+        requirement: Mapping[str, Any],
+        *,
+        seed: int | None = None,
+        ordered_emd: bool = False,
+    ):
+        self.store = store
+        self.requirement = dict(requirement)
+        self.seed = seed
+        self.ordered_emd = ordered_emd
+        self.records: list[PublicationRecord] = []
+
+    def __call__(self, result) -> None:
+        self.records.append(
+            self.store.put(
+                result.published,
+                requirement=self.requirement,
+                algorithm=result.algorithm,
+                params=result.params,
+                seed=self.seed,
+                ordered_emd=self.ordered_emd,
+            )
+        )
+
+
+def publish_run(
+    store: PublicationStore,
+    algorithm: str,
+    table: Table,
+    *,
+    requirement: Mapping[str, Any],
+    rng: "np.random.Generator | int | None" = None,
+    ordered_emd: bool = False,
+    **params: Any,
+):
+    """Run an engine algorithm and admit its publication to the store.
+
+    The anonymize → certify → persist path in one call, implemented via
+    the engine's publish sink so provenance (algorithm, resolved params,
+    seed) flows from the run itself.
+
+    Returns:
+        ``(RunResult, PublicationRecord)``.
+
+    Raises:
+        CertificationError: The run's publication failed its contract
+            (nothing is stored).
+    """
+    from ..engine import run as engine_run
+
+    sink = store.sink(
+        requirement,
+        seed=rng if isinstance(rng, int) else None,
+        ordered_emd=ordered_emd,
+    )
+    result = engine_run(algorithm, table, rng=rng, sink=sink, **params)
+    return result, sink.records[0]

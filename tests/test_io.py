@@ -7,9 +7,17 @@ import pytest
 
 from repro.core import burel, perturb_table
 from repro.io import (
+    anatomy_to_rows,
     generalized_to_rows,
+    load_publication,
+    publication_from_payload,
+    publication_payload,
     read_csv_rows,
     read_perturbation_sidecar,
+    save_publication,
+    schema_from_spec,
+    schema_to_spec,
+    write_anatomy_csv,
     write_generalized_csv,
     write_perturbed_csv,
 )
@@ -79,6 +87,145 @@ class TestPerturbedExport:
         assert (tmp_path / "meta.json").exists()
         payload = json.loads((tmp_path / "meta.json").read_text())
         assert payload["sensitive_attribute"] == "SalaryClass"
+
+
+class _EmptyPublication:
+    """Duck-typed empty publication: zero ECs over a schema."""
+
+    def __init__(self, schema):
+        self.schema = schema
+
+    def __iter__(self):
+        return iter(())
+
+
+class TestCsvRoundTrips:
+    def test_generalized_rows_roundtrip_byte_identical(
+        self, census_full_qi, tmp_path
+    ):
+        """Write → read recovers the exported row dicts exactly, with
+        categorical QI boxes rendered as hierarchy node labels."""
+        published = burel(census_full_qi, 3.0).published
+        path = tmp_path / "g.csv"
+        write_generalized_csv(published, path)
+        assert read_csv_rows(path) == generalized_to_rows(published)
+
+    def test_empty_publication_writes_header_only(
+        self, census_full_qi, tmp_path
+    ):
+        path = tmp_path / "empty.csv"
+        write_generalized_csv(_EmptyPublication(census_full_qi.schema), path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert lines[0].split(",") == (
+            ["ec"]
+            + [a.name for a in census_full_qi.schema.qi]
+            + [census_full_qi.schema.sensitive.name]
+        )
+        assert read_csv_rows(path) == []
+
+    def test_perturbed_rows_roundtrip_byte_identical(
+        self, census_small, tmp_path, rng
+    ):
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        path = tmp_path / "p.csv"
+        write_perturbed_csv(perturbed, path)
+        rows = read_csv_rows(path)
+        schema = census_small.schema
+        for i in (0, 17, census_small.n_rows - 1):
+            for j, attr in enumerate(schema.qi):
+                assert rows[i][attr.name] == str(int(perturbed.qi[i, j]))
+            assert rows[i][schema.sensitive.name] == (
+                schema.sensitive.values[int(perturbed.sa_perturbed[i])]
+            )
+
+    def test_pm_sidecar_roundtrip_exact(self, census_small, tmp_path, rng):
+        """JSON float round-trip is exact (repr-based), so the recovered
+        PM equals the published scheme matrix bit for bit."""
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        write_perturbed_csv(perturbed, tmp_path / "p.csv")
+        sidecar = read_perturbation_sidecar(tmp_path / "p.json")
+        assert np.array_equal(
+            sidecar["transition_matrix"], perturbed.scheme.matrix
+        )
+        assert np.array_equal(sidecar["alphas"], perturbed.scheme.alphas)
+        assert sidecar["domain"] == [
+            census_small.schema.sensitive.values[int(c)]
+            for c in perturbed.scheme.domain
+        ]
+
+    def test_anatomy_rows_roundtrip(self, census_small, tmp_path):
+        from repro.anonymity import anatomize
+
+        published = anatomize(census_small, 3, rng=np.random.default_rng(5))
+        path = tmp_path / "a.csv"
+        write_anatomy_csv(published, path)
+        assert read_csv_rows(path) == anatomy_to_rows(published)
+        sidecar = json.loads((tmp_path / "a.json").read_text())
+        assert sidecar["l"] == 3
+        assert len(sidecar["groups"]) == len(published.groups)
+        assert (
+            sum(sum(g.values()) for g in sidecar["groups"])
+            == census_small.n_rows
+        )
+
+
+class TestLosslessPayload:
+    def test_schema_spec_roundtrip(self, census_full_qi):
+        spec = schema_to_spec(census_full_qi.schema)
+        restored = schema_from_spec(json.loads(json.dumps(spec)))
+        assert [a.name for a in restored.qi] == [
+            a.name for a in census_full_qi.schema.qi
+        ]
+        for restored_attr, attr in zip(restored.qi, census_full_qi.schema.qi):
+            assert (restored_attr.lo, restored_attr.hi) == (attr.lo, attr.hi)
+            if attr.hierarchy is not None:
+                assert restored_attr.hierarchy.label_to_rank == (
+                    attr.hierarchy.label_to_rank
+                )
+        assert restored.sensitive.values == (
+            census_full_qi.schema.sensitive.values
+        )
+
+    def test_generalized_payload_roundtrip(self, census_full_qi):
+        published = burel(census_full_qi, 3.0).published
+        meta, arrays = publication_payload(published)
+        restored = publication_from_payload(
+            json.loads(json.dumps(meta)), arrays
+        )
+        for a, b in zip(published.classes, restored.classes):
+            assert np.array_equal(a.rows, b.rows)
+            assert a.box == b.box
+            assert np.array_equal(a.sa_counts, b.sa_counts)
+
+    def test_fulldomain_boxes_survive(self, census_small):
+        """Full-domain boxes come from ladder intervals, not from member
+        rows, so they must be stored verbatim."""
+        from repro.engine import run
+
+        published = run("fulldomain", census_small, kind="beta", beta=4.0).published
+        meta, arrays = publication_payload(published)
+        restored = publication_from_payload(meta, arrays)
+        assert [ec.box for ec in restored.classes] == [
+            ec.box for ec in published.classes
+        ]
+
+    def test_save_load_file_roundtrip(self, census_small, tmp_path, rng):
+        perturbed = perturb_table(census_small, 4.0, rng=rng)
+        path = tmp_path / "p.npz"
+        save_publication(perturbed, path)
+        restored = load_publication(path)
+        assert np.array_equal(restored.source.qi, perturbed.source.qi)
+        assert np.array_equal(restored.sa_perturbed, perturbed.sa_perturbed)
+        assert np.array_equal(restored.scheme.matrix, perturbed.scheme.matrix)
+        assert restored.scheme.c_lm == perturbed.scheme.c_lm
+
+    def test_unknown_format_rejected(self, census_small):
+        published = burel(census_small, 3.0).published
+        meta, arrays = publication_payload(published)
+        meta["format"] = 99
+        with pytest.raises(ValueError, match="unsupported payload format"):
+            publication_from_payload(meta, arrays)
 
 
 class TestDisplay:

@@ -1,0 +1,580 @@
+"""Tests for the publication store and the concurrent query service."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.anonymity import BaselinePublication, anatomize
+from repro.core import burel, perturb_table
+from repro.engine import run as engine_run
+from repro.query import batch_estimates, evaluate_workload, make_workload
+from repro.service import (
+    CertificationError,
+    PublicationStore,
+    QueryService,
+    certify_publication,
+    publish_run,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    from repro.dataset import CENSUS_QI_ORDER, make_census
+
+    return make_census(4_000, seed=7, correlation=0.3, qi_names=CENSUS_QI_ORDER)
+
+
+@pytest.fixture(scope="module")
+def publications(table):
+    return {
+        "generalized": burel(table, 2.0).published,
+        "perturbed": perturb_table(table, 4.0, rng=np.random.default_rng(29)),
+        "anatomy": anatomize(table, 4, rng=np.random.default_rng(1)),
+        "baseline": BaselinePublication(table),
+    }
+
+
+@pytest.fixture(scope="module")
+def requirements():
+    return {
+        "generalized": {"beta": 2.0},
+        "perturbed": {"beta": 4.0},
+        "anatomy": {"l": 4},
+        "baseline": {"beta": 2.0},
+    }
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    return make_workload(table.schema, 150, lam=3, theta=0.1, rng=13)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return PublicationStore(tmp_path / "store")
+
+
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize(
+        "kind", ["generalized", "perturbed", "anatomy", "baseline"]
+    )
+    def test_lossless(self, store, publications, requirements, kind):
+        original = publications[kind]
+        record = store.put(original, requirement=requirements[kind])
+        restored = store.get(record.pub_id)
+        assert np.array_equal(restored.source.qi, original.source.qi)
+        assert np.array_equal(restored.source.sa, original.source.sa)
+        if hasattr(original, "classes"):
+            for a, b in zip(original.classes, restored.classes):
+                assert np.array_equal(a.rows, b.rows)
+                assert a.box == b.box
+                assert np.array_equal(a.sa_counts, b.sa_counts)
+        if hasattr(original, "groups"):
+            assert restored.l == original.l
+            for a, b in zip(original.groups, restored.groups):
+                assert np.array_equal(a.rows, b.rows)
+                assert np.array_equal(a.sa_counts, b.sa_counts)
+        if hasattr(original, "scheme"):
+            assert np.array_equal(
+                restored.sa_perturbed, original.sa_perturbed
+            )
+            assert np.array_equal(
+                restored.scheme.matrix, original.scheme.matrix
+            )
+            assert restored.scheme.c_lm == original.scheme.c_lm
+
+    def test_schema_hierarchies_survive(self, store, publications, requirements):
+        record = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+        )
+        schema = store.get(record.pub_id).source.schema
+        original = publications["generalized"].schema
+        for restored_attr, attr in zip(schema.qi, original.qi):
+            assert restored_attr.name == attr.name
+            assert restored_attr.kind == attr.kind
+            if attr.hierarchy is not None:
+                assert (
+                    [n.label for n in restored_attr.hierarchy.leaves]
+                    == [n.label for n in attr.hierarchy.leaves]
+                )
+                assert restored_attr.hierarchy.height == attr.hierarchy.height
+        assert schema.sensitive.values == original.sensitive.values
+
+    def test_restored_answers_bit_identical(
+        self, store, table, publications, requirements, workload
+    ):
+        record = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+        )
+        restored = store.get(record.pub_id)
+        direct = batch_estimates(
+            table, {"x": publications["generalized"]}, workload
+        )["x"]
+        roundtripped = batch_estimates(
+            restored.source, {"x": restored}, workload
+        )["x"]
+        assert np.array_equal(direct, roundtripped)
+
+    def test_put_is_idempotent(self, store, publications, requirements):
+        first = store.put(
+            publications["anatomy"], requirement=requirements["anatomy"]
+        )
+        second = store.put(
+            publications["anatomy"], requirement=requirements["anatomy"]
+        )
+        assert first.pub_id == second.pub_id
+        assert store.ids() == [first.pub_id]
+
+    def test_resolve_prefix(self, store, publications, requirements):
+        record = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+        )
+        assert store.resolve(record.pub_id[:8]) == record.pub_id
+        with pytest.raises(KeyError, match="no publication"):
+            store.resolve("ffff" * 16)
+
+    def test_corrupt_payload_detected(
+        self, store, publications, requirements
+    ):
+        record = store.put(
+            publications["baseline"], requirement=requirements["baseline"]
+        )
+        payload = store.root / "objects" / record.pub_id / "payload.npz"
+        blob = bytearray(payload.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        payload.write_bytes(bytes(blob))
+        with pytest.raises(Exception):  # hash mismatch or zip error
+            store.get(record.pub_id)
+
+
+class TestCertificationGate:
+    def test_refuses_beta_violation(self, store, publications):
+        with pytest.raises(CertificationError, match="measured beta"):
+            store.put(publications["generalized"], requirement={"beta": 0.01})
+        assert store.ids() == []  # nothing written on refusal
+
+    def test_refuses_t_violation(self, store, publications):
+        with pytest.raises(CertificationError, match="measured t"):
+            store.put(publications["generalized"], requirement={"t": 1e-6})
+
+    def test_refuses_l_violation(self, store, publications):
+        with pytest.raises(CertificationError, match="measured l"):
+            store.put(publications["anatomy"], requirement={"l": 10})
+
+    def test_refuses_perturbed_beta_violation(self, store, publications):
+        with pytest.raises(CertificationError, match="scheme caps"):
+            store.put(publications["perturbed"], requirement={"beta": 0.5})
+
+    def test_perturbed_rejects_fabricated_priors(self, table, publications):
+        """Regression: the gate must not trust the scheme's self-declared
+        priors — a scheme fit to a fake distribution passes its own cap
+        check but violates the real contract."""
+        import dataclasses
+
+        from repro.core import PerturbationScheme, PerturbedTable
+
+        fake = np.full(table.sa_cardinality, 1.0 / table.sa_cardinality)
+        scheme = PerturbationScheme.fit(fake, beta=4.0)
+        forged = PerturbedTable(
+            source=table,
+            sa_perturbed=publications["perturbed"].sa_perturbed,
+            scheme=scheme,
+        )
+        with pytest.raises(CertificationError, match="priors|domain"):
+            certify_publication(forged, {"beta": 4.0})
+        # A wrong domain is also refused.
+        genuine = publications["perturbed"].scheme
+        truncated = dataclasses.replace(
+            genuine,
+            domain=genuine.domain[:-1],
+            probs=genuine.probs[:-1],
+            caps=genuine.caps[:-1],
+            gammas=genuine.gammas[:-1],
+            alphas=genuine.alphas[:-1],
+            matrix=genuine.matrix[:-1, :-1],
+        )
+        forged = PerturbedTable(
+            source=table,
+            sa_perturbed=publications["perturbed"].sa_perturbed,
+            scheme=truncated,
+        )
+        with pytest.raises(CertificationError, match="domain"):
+            certify_publication(forged, {"beta": 4.0})
+
+    def test_perturbed_rejects_group_contracts(self, store, publications):
+        with pytest.raises(CertificationError, match="beta-likeness"):
+            store.put(
+                publications["perturbed"], requirement={"beta": 4.0, "l": 2}
+            )
+
+    def test_baseline_l_contract(self, table, publications):
+        distinct = int(np.count_nonzero(table.sa_counts()))
+        audit = certify_publication(
+            publications["baseline"], {"l": distinct}
+        )
+        assert audit["privacy"]["l"] == distinct
+        with pytest.raises(CertificationError, match="distinct SA"):
+            certify_publication(
+                publications["baseline"], {"l": distinct + 1}
+            )
+
+    def test_enhanced_beta_contract_enforced(self):
+        """Regression: a group violating the enhanced f(p) cap must be
+        refused even when its relative gain stays below beta."""
+        from repro.dataset import (
+            Attribute,
+            Schema,
+            SensitiveAttribute,
+            Table,
+            publish,
+        )
+
+        schema = Schema(
+            [Attribute.numerical("Age", 0, 19)],
+            SensitiveAttribute("D", ("a", "b")),
+        )
+        sa = np.array([0] * 10 + [1] * 10)
+        table = Table(schema, np.arange(20)[:, None], sa)
+        # One EC of 9 a's + 1 b, one EC with the rest: q = (0.9, 0.1)
+        # against p = (0.5, 0.5).  Gain 0.8 <= 10, but the enhanced cap
+        # is (1 + ln 2) * 0.5 ~= 0.847 < 0.9.
+        rows = np.arange(20)
+        published = publish(
+            table, [np.concatenate([rows[:9], rows[10:11]]),
+                    np.concatenate([rows[9:10], rows[11:]])]
+        )
+        with pytest.raises(CertificationError, match="enhanced"):
+            certify_publication(published, {"beta": 10.0, "enhanced": True})
+        audit = certify_publication(
+            published, {"beta": 10.0, "enhanced": False}
+        )
+        assert audit["privacy"]["beta"] <= 10.0
+
+    def test_reput_refreshes_contract(self, store, publications):
+        """Regression: re-admitting identical content under a different
+        certified requirement must not return stale provenance."""
+        first = store.put(publications["anatomy"], requirement={"l": 2})
+        assert first.requirement == {"l": 2}
+        second = store.put(publications["anatomy"], requirement={"l": 4})
+        assert second.pub_id == first.pub_id
+        assert second.requirement == {"l": 4}
+        assert store.record(first.pub_id).requirement == {"l": 4}
+
+    def test_requirement_validation(self, store, publications):
+        with pytest.raises(ValueError, match="unknown requirement"):
+            store.put(publications["generalized"], requirement={"gamma": 1})
+        with pytest.raises(ValueError, match="at least one"):
+            store.put(publications["generalized"], requirement={})
+
+    def test_audit_evidence_recorded(
+        self, store, publications, requirements
+    ):
+        record = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+        )
+        assert record.audit["privacy"]["beta"] <= 2.0 + 1e-9
+        assert "risk" in record.audit
+        manifest = json.loads(
+            (
+                store.root / "objects" / record.pub_id / "manifest.json"
+            ).read_text()
+        )
+        assert manifest["requirement"] == {"beta": 2.0}
+
+
+class TestEngineHook:
+    def test_pipeline_sink_receives_result(self, table):
+        seen = []
+        result = engine_run("burel", table, beta=2.0, sink=seen.append)
+        assert seen == [result]
+
+    def test_publish_run_records_provenance(self, store, table):
+        result, record = publish_run(
+            store, "anatomy", table, requirement={"l": 4}, rng=1, l=4
+        )
+        assert record.kind == "anatomy"
+        assert record.algorithm == "anatomy"
+        assert record.params["l"] == 4
+        assert record.seed == 1
+        assert record.n_groups == len(result.published.groups)
+        assert store.record(record.pub_id).pub_id == record.pub_id
+
+    def test_publish_run_refusal_stores_nothing(self, store, table):
+        with pytest.raises(CertificationError):
+            publish_run(
+                store, "burel", table, requirement={"beta": 0.01}, beta=2.0
+            )
+        assert store.ids() == []
+
+
+class TestQueryService:
+    @pytest.fixture()
+    def loaded_store(self, store, publications, requirements):
+        ids = {
+            kind: store.put(
+                publications[kind], requirement=requirements[kind]
+            ).pub_id
+            for kind in publications
+        }
+        return store, ids
+
+    @pytest.mark.parametrize(
+        "kind", ["generalized", "perturbed", "anatomy", "baseline"]
+    )
+    def test_bit_identical_to_direct_evaluation(
+        self, loaded_store, table, publications, workload, kind
+    ):
+        store, ids = loaded_store
+        with QueryService(store, workers=2, max_batch=32) as service:
+            served = service.answer(ids[kind], workload)
+        direct = batch_estimates(table, {kind: publications[kind]}, workload)[
+            kind
+        ]
+        assert np.array_equal(served, direct)
+
+    def test_profiles_match_evaluate_workload(
+        self, loaded_store, table, publications, workload
+    ):
+        from repro.metrics.errors import error_profile
+        from repro.query import answer_precise_batch
+
+        store, ids = loaded_store
+        direct = evaluate_workload(table, publications, workload)
+        precise = answer_precise_batch(table, workload)
+        with QueryService(store) as service:
+            for kind in publications:
+                served = service.answer(ids[kind], workload)
+                assert error_profile(precise, served) == direct[kind]
+
+    def test_concurrent_clients_one_publication(
+        self, loaded_store, table, publications, workload
+    ):
+        store, ids = loaded_store
+        direct = batch_estimates(
+            table, {"x": publications["generalized"]}, workload
+        )["x"]
+        out = np.empty(len(workload))
+        with QueryService(store, workers=3, max_batch=16) as service:
+            pub_id = ids["generalized"]
+
+            def client(offset: int):
+                futures = [
+                    (i, service.submit(pub_id, workload[i]))
+                    for i in range(offset, len(workload), 4)
+                ]
+                for i, future in futures:
+                    out[i] = future.result()
+
+            threads = [
+                threading.Thread(target=client, args=(c,)) for c in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats_snapshot()
+        assert np.array_equal(out, direct)
+        assert stats["requests"] == len(workload)
+        assert stats["batches"] >= 1
+
+    def test_lru_eviction(self, loaded_store, workload):
+        store, ids = loaded_store
+        with QueryService(store, cache_size=1) as service:
+            for pub_id in ids.values():
+                service.answer(pub_id, workload[:5])
+            stats = service.stats_snapshot()
+        assert stats["cache_misses"] == len(ids)
+        assert stats["cache_evictions"] >= len(ids) - 1
+
+    def test_unknown_publication_surfaces_error(self, loaded_store, workload):
+        store, _ = loaded_store
+        with QueryService(store) as service:
+            future = service.submit("deadbeef" * 8, workload[0])
+            with pytest.raises(KeyError):
+                future.result(timeout=10)
+            # Regression: failed loads must not leak per-id load locks.
+            assert service._load_locks == {}
+
+    def test_prefix_alias_shares_lru_slot(
+        self, loaded_store, table, publications, workload
+    ):
+        """Regression: a prefix lookup must alias the canonical cache
+        entry, not occupy (and immediately thrash) a second slot."""
+        store, ids = loaded_store
+        pub_id = ids["baseline"]
+        with QueryService(store, cache_size=1) as service:
+            service.answer(pub_id[:10], workload[:3])
+            service.answer(pub_id, workload[:3])
+            stats = service.stats_snapshot()
+        assert stats["cache_misses"] == 1
+        assert stats["cache_evictions"] == 0
+
+    def test_closed_service_rejects_submissions(self, loaded_store, workload):
+        store, ids = loaded_store
+        service = QueryService(store)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(ids["baseline"], workload[0])
+        service.close()  # idempotent
+
+    def test_prefix_ids_work(self, loaded_store, table, publications, workload):
+        store, ids = loaded_store
+        with QueryService(store) as service:
+            served = service.answer(ids["baseline"][:10], workload[:20])
+        direct = batch_estimates(
+            table, {"x": publications["baseline"]}, workload[:20]
+        )["x"]
+        assert np.array_equal(served, direct)
+
+
+class TestServiceCli:
+    @pytest.fixture()
+    def data_csv(self, tmp_path, table):
+        import csv
+
+        schema = table.schema
+        path = tmp_path / "data.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["Age", "Education", "Salary"])
+            age = table.schema.qi_index("Age")
+            edu = table.schema.qi_index("Education")
+            for i in range(table.n_rows):
+                writer.writerow(
+                    [
+                        int(table.qi[i, age]),
+                        int(table.qi[i, edu]),
+                        schema.sensitive.values[int(table.sa[i])],
+                    ]
+                )
+        return path
+
+    def test_publish_then_query(self, data_csv, tmp_path, capsys):
+        from repro.cli import run
+
+        store_dir = tmp_path / "pubs"
+        code = run(
+            [
+                "publish", str(data_csv),
+                "--store", str(store_dir),
+                "--qi", "Age,Education",
+                "--numerical", "Age,Education",
+                "--sensitive", "Salary",
+                "--algorithm", "burel",
+                "--beta", "2",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "certified against beta=2.0" in captured
+        assert "stages:" in captured
+        pub_id = [
+            line.split("id: ", 1)[1]
+            for line in captured.splitlines()
+            if line.startswith("id: ")
+        ][0]
+
+        out = tmp_path / "answers.json"
+        code = run(
+            [
+                "query",
+                "--store", str(store_dir),
+                "--id", pub_id[:12],
+                "--queries", "50",
+                "--theta", "0.1",
+                "-o", str(out),
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "micro-batches" in captured
+        payload = json.loads(out.read_text())
+        assert payload["publication"] == pub_id
+        assert len(payload["estimates"]) == 50
+
+    def test_publish_refusal_exit_code(self, data_csv, tmp_path, capsys):
+        from repro.cli import run
+
+        code = run(
+            [
+                "publish", str(data_csv),
+                "--store", str(tmp_path / "pubs"),
+                "--qi", "Age",
+                "--numerical", "Age",
+                "--sensitive", "Salary",
+                "--algorithm", "burel",
+                "--beta", "2",
+                "--require-beta", "0.01",
+            ]
+        )
+        assert code == 1
+        assert "refused" in capsys.readouterr().err
+
+    def test_query_unknown_id_clean_error(self, tmp_path, capsys):
+        from repro.cli import run
+        from repro.service import PublicationStore
+
+        PublicationStore(tmp_path / "pubs")  # empty store
+        code = run(
+            [
+                "query",
+                "--store", str(tmp_path / "pubs"),
+                "--id", "deadbeef",
+            ]
+        )
+        assert code == 1
+        assert "no publication" in capsys.readouterr().err
+
+    def test_generalize_anatomy(self, data_csv, tmp_path, capsys):
+        from repro.cli import run
+
+        out = tmp_path / "anat.csv"
+        code = run(
+            [
+                "generalize", str(data_csv),
+                "--qi", "Age,Education",
+                "--numerical", "Age,Education",
+                "--sensitive", "Salary",
+                "--algorithm", "anatomy",
+                "--l", "3",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "anatomy groups" in captured
+        assert "measured privacy" in captured
+        assert (tmp_path / "anat.json").exists()
+        sidecar = json.loads((tmp_path / "anat.json").read_text())
+        assert sidecar["l"] == 3
+        from repro.io import read_csv_rows
+
+        rows = read_csv_rows(out)
+        assert len(rows) == 4_000
+        assert "group" in rows[0]
+
+    def test_stage_timings_behind_verbose(self, data_csv, tmp_path, capsys):
+        from repro.cli import run
+
+        args = [
+            "generalize", str(data_csv),
+            "--qi", "Age",
+            "--numerical", "Age",
+            "--sensitive", "Salary",
+            "--beta", "2",
+            "-o", str(tmp_path / "out.csv"),
+        ]
+        assert run(args) == 0
+        assert "stages:" not in capsys.readouterr().out
+        assert run(args + ["--verbose"]) == 0
+        assert "stages:" in capsys.readouterr().out
