@@ -8,33 +8,31 @@ CENSUS dataset, generalization hierarchies, a Hilbert curve, the
 Mondrian family of comparators, SABRE, an Anatomy-style baseline, a
 COUNT-query utility harness, and the attacks of Section 7.
 
-Quickstart::
+Quickstart — the :mod:`repro.api` session facade runs the paper's whole
+chain over one shared artifact cache::
 
-    from repro import burel, make_census, average_information_loss
+    from repro import Dataset, PublicationStore, QueryService
 
-    table = make_census(20_000, seed=7)
-    result = burel(table, beta=4.0)
-    print(average_information_loss(result.published))
-
-All schemes are also reachable through the unified staged engine::
-
-    from repro.engine import run
-
-    result = run("burel", table, beta=4.0)   # or sabre/mondrian/...
-    print(result.stage_seconds)
-
-Publications persist and serve through the service layer::
-
-    from repro.service import PublicationStore, QueryService, publish_run
+    ds = Dataset.from_census(20_000, seed=7)
+    run = ds.anonymize("burel", beta=4.0)         # AnonymizationRun
+    print(run.audit().privacy)                     # batched audit layer
 
     store = PublicationStore("pubs/")
-    result, record = publish_run(store, "burel", table,
-                                 requirement={"beta": 4.0})
+    record = run.publish(store, requirement={"beta": 4.0})
+    print(run.evaluate(ds.workload(2_000)).median)  # batched query layer
+
     with QueryService(store) as service:
-        estimates = service.answer(record.pub_id, workload)
+        estimates = service.answer(record.pub_id, ds.workload(100))
+
+The layer APIs remain available underneath — ``repro.engine`` (staged
+anonymization), ``repro.query`` (batched workload evaluation),
+``repro.audit`` (batched privacy auditing), ``repro.service``
+(certification-gated store + concurrent serving) — and the facade's
+results are byte-identical to calling them directly.
 """
 
-from . import audit, engine, service
+from . import api, audit, engine, service
+from .api import AnonymizationRun, ArtifactCache, Dataset
 from .audit import audit_publications
 from .core import (
     BetaLikeness,
@@ -61,6 +59,10 @@ from .service import PublicationStore, QueryService, publish_run
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnonymizationRun",
+    "ArtifactCache",
+    "Dataset",
+    "api",
     "audit",
     "audit_publications",
     "engine",

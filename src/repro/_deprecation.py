@@ -1,0 +1,56 @@
+"""Warn-once deprecation shims for the pre-facade entry points.
+
+PR 5 consolidated the four layer APIs behind :mod:`repro.api`; the
+historical module-level entry points keep working but announce the
+facade exactly once per process.  Internal callers (the facade itself,
+the store's certification gate, the extensions) import the private
+implementations directly, so library-internal traffic never warns.
+
+Every message starts with the dotted ``repro.`` path of the deprecated
+callable, which is what the test suite's ``filterwarnings`` pattern in
+``pyproject.toml`` matches on.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+_WARNED: set[str] = set()
+
+F = TypeVar("F", bound=Callable)
+
+
+def warn_once(name: str, replacement: str) -> None:
+    """Emit one :class:`DeprecationWarning` per entry point per process."""
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} "
+        f"(the repro.api session facade)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def deprecated_entry_point(func: F, name: str, replacement: str) -> F:
+    """Wrap a legacy entry point with a single facade-pointing warning.
+
+    The wrapper is signature- and behaviour-transparent; the pristine
+    implementation stays reachable as ``wrapper.__wrapped__`` (which is
+    what internal callers should import instead).
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        warn_once(name, replacement)
+        return func(*args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]
+
+
+def reset_warned() -> None:
+    """Forget which entry points warned (test isolation helper)."""
+    _WARNED.clear()

@@ -1,0 +1,32 @@
+"""repro.api — the unified session facade over the layered engines.
+
+One import gives the paper's whole chain with one shared artifact
+cache::
+
+    from repro.api import Dataset
+
+    ds = Dataset.from_census(30_000, seed=7)
+    run = ds.anonymize("burel", beta=2.0)
+    run.audit()                                   # batched audit layer
+    run.certify({"beta": 2.0})                    # store's contract gate
+    record = run.publish(store, requirement={"beta": 2.0})
+    run.evaluate(ds.workload(2_000))              # batched query layer
+
+    runs = ds.sweep([("burel", {"beta": b}) for b in (1.0, 2.0, 4.0)])
+
+The :class:`ArtifactCache` replaces the layers' scattered private memos
+(engine ``PreparedTable`` fields, weak-keyed mask engines, id-keyed
+publication views) with one content-digest-keyed store offering size
+accounting and explicit invalidation; see :mod:`repro.api.cache`.
+"""
+
+from .cache import ARTIFACT_KINDS, ArtifactCache, estimate_nbytes
+from .dataset import AnonymizationRun, Dataset
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "AnonymizationRun",
+    "ArtifactCache",
+    "Dataset",
+    "estimate_nbytes",
+]

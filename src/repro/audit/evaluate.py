@@ -18,6 +18,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .._deprecation import deprecated_entry_point
 from ..attacks.corruption import CompositionReport, CorruptionReport
 from ..attacks.definetti import (
     DeFinettiResult,
@@ -70,7 +71,7 @@ class AuditReport:
     definetti_baseline: AttackResult | None = None
 
 
-def audit_publications(
+def _audit_publications(
     table: Table,
     publications: Mapping[str, object],
     *,
@@ -83,8 +84,13 @@ def audit_publications(
     similarity_groups: Sequence[Sequence[int]] | None = None,
     definetti_iterations: int = 30,
     definetti_baseline_seed: int = 0,
+    cache=None,
 ) -> "dict[str, AuditReport]":
     """Audit every candidate publication of ``table`` in one batch.
+
+    This is the implementation behind both the deprecated module-level
+    :func:`audit_publications` and :meth:`repro.api.Dataset.audit`
+    (which supplies ``cache``).
 
     Args:
         table: The source microdata every publication must cover.
@@ -93,6 +99,9 @@ def audit_publications(
             every metric and attack.
         attacks: Subset of :data:`AUDIT_ATTACKS` to mount on top of the
             always-computed privacy and risk profiles.
+        cache: Optional :class:`repro.api.ArtifactCache`; keys views by
+            publication content so audits, certifications and reloads of
+            the same release share one view build.
         ordered_emd: Measure closeness with the ordered ground distance
             (the §7 table's convention for ordinal SA domains).
         tolerance: ``at_risk`` threshold of the risk profile.
@@ -135,8 +144,11 @@ def audit_publications(
 
     views = {}
     for name, published in publications.items():
-        view = publication_view(published)
-        if view.source is not table:
+        view = publication_view(published, cache=cache)
+        if view.source is not table and not (
+            cache is not None
+            and cache.table_key(view.source) == cache.table_key(table)
+        ):
             raise ValueError(
                 f"publication {name!r} was built over a different table"
             )
@@ -171,3 +183,10 @@ def audit_publications(
             **extras,
         )
     return reports
+
+
+audit_publications = deprecated_entry_point(
+    _audit_publications,
+    "repro.audit.audit_publications()",
+    "repro.api.Dataset.audit()",
+)

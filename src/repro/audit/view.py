@@ -119,10 +119,25 @@ class PublicationView:
 _VIEWS: dict[int, PublicationView] = {}
 
 
-def publication_view(publication) -> PublicationView:
-    """The memoized :class:`PublicationView` for ``publication``."""
+def publication_view(publication, cache=None) -> PublicationView:
+    """The memoized :class:`PublicationView` for ``publication``.
+
+    Args:
+        publication: A group-based publication (or a view, passed
+            through).
+        cache: Optional :class:`repro.api.ArtifactCache`.  When given,
+            the view is keyed by the publication's *content digest* —
+            the same SHA-256 the publication store uses as object id —
+            so an equal-content publication reloaded from a store reuses
+            the already-built matrices (and their per-metric memo).
+            Without it, the legacy id-keyed registry below is used,
+            which misses on reloads.
+    """
     if isinstance(publication, PublicationView):
         return publication
+    if cache is not None:
+        key = ("view", cache.publication_key(publication))
+        return cache.get_or_build(key, lambda: PublicationView(publication))
     key = id(publication)
     view = _VIEWS.get(key)
     if view is None:

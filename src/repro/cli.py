@@ -15,6 +15,10 @@ Usage::
 (``python -m repro.cli`` works identically when the console script is
 not installed.)
 
+All subcommands dispatch through the :mod:`repro.api` session facade
+(one :class:`~repro.api.Dataset` per invocation), so a ``publish``'s
+certification audit reuses the artifacts its run already produced.
+
 ``generalize`` runs a generalization scheme from the engine registry
 (BUREL by default; ``--algorithm`` selects sabre/mondrian/fulldomain/
 anatomy) and writes one row per tuple with generalized QI cells (for
@@ -47,9 +51,8 @@ import sys
 
 import numpy as np
 
-from .engine import run as engine_run
+from .api import Dataset
 from .io import (
-    load_csv_table,
     write_anatomy_csv,
     write_generalized_csv,
     write_perturbed_csv,
@@ -247,23 +250,23 @@ def _print_stages(result, verbose: bool) -> None:
     print(f"stages: {stages}")
 
 
-def _load_table(args: argparse.Namespace):
-    table = load_csv_table(
+def _load_dataset(args: argparse.Namespace) -> Dataset:
+    ds = Dataset.from_csv(
         args.input,
-        qi_names=_split(args.qi),
-        sensitive_name=args.sensitive,
+        qi=_split(args.qi),
+        sensitive=args.sensitive,
         numerical=_split(args.numerical),
     )
-    print(f"loaded {table.n_rows} tuples, "
-          f"{table.schema.n_qi} QI attributes, "
-          f"{table.sa_cardinality} sensitive values")
-    return table
+    print(f"loaded {ds.n_rows} tuples, "
+          f"{ds.schema.n_qi} QI attributes, "
+          f"{ds.table.sa_cardinality} sensitive values")
+    return ds
 
 
 def _run_generalize(args: argparse.Namespace) -> int:
-    table = _load_table(args)
-    result = engine_run(
-        args.algorithm, table, rng=args.seed, **_algorithm_params(args)
+    ds = _load_dataset(args)
+    result = ds.anonymize(
+        args.algorithm, rng=args.seed, **_algorithm_params(args)
     )
     if args.algorithm == "anatomy":
         write_anatomy_csv(result.published, args.output)
@@ -271,10 +274,8 @@ def _run_generalize(args: argparse.Namespace) -> int:
               f"-> {args.output} (+ .json sidecar)")
         _print_stages(result, args.verbose)
         from .audit.metrics import privacy_profile as audit_privacy_profile
-        from .audit.view import publication_view
 
-        profile = audit_privacy_profile(publication_view(result.published))
-        print(f"measured privacy: {profile}")
+        print(f"measured privacy: {audit_privacy_profile(result.view())}")
         return 0
     write_generalized_csv(result.published, args.output)
     print(f"published {len(result.published)} equivalence classes "
@@ -287,10 +288,10 @@ def _run_generalize(args: argparse.Namespace) -> int:
 
 
 def _run_perturb(args: argparse.Namespace) -> int:
-    table = _load_table(args)
+    ds = _load_dataset(args)
     seed = args.seed if args.seed is not None else 0
-    result = engine_run(
-        "perturb", table,
+    result = ds.anonymize(
+        "perturb",
         rng=np.random.default_rng(seed),
         beta=args.beta, enhanced=not args.basic,
     )
@@ -303,19 +304,19 @@ def _run_perturb(args: argparse.Namespace) -> int:
 
 
 def _run_publish(args: argparse.Namespace) -> int:
-    from .service import CertificationError, PublicationStore, publish_run
+    from .service import CertificationError, PublicationStore
 
-    table = _load_table(args)
-    store = PublicationStore(args.store)
+    ds = _load_dataset(args)
+    store = PublicationStore(args.store, cache=ds.cache)
     requirement = _requirement(args)
     rng = args.seed
     if args.algorithm == "perturb":
         rng = args.seed if args.seed is not None else 0
     try:
-        result, record = publish_run(
-            store, args.algorithm, table,
-            requirement=requirement, rng=rng, **_algorithm_params(args)
+        result = ds.anonymize(
+            args.algorithm, rng=rng, **_algorithm_params(args)
         )
+        record = result.publish(store, requirement=requirement)
     except CertificationError as exc:
         print(f"refused: {exc}", file=sys.stderr)
         return 1

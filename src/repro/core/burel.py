@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._deprecation import deprecated_entry_point
 from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 from .bucketize import BucketPartition
@@ -37,7 +38,7 @@ class BurelResult:
     elapsed_seconds: float
 
 
-def burel(
+def _burel(
     table: Table,
     beta: float,
     enhanced: bool = True,
@@ -106,3 +107,10 @@ def burel(
         model=result.provenance["model"],
         elapsed_seconds=result.elapsed_seconds,
     )
+
+
+burel = deprecated_entry_point(
+    _burel,
+    "repro.burel()",
+    'repro.api.Dataset.anonymize("burel", beta=...)',
+)

@@ -24,21 +24,40 @@ from .registry import run
 
 
 class PreparedTable:
-    """Memoized per-table preprocessing shared across engine runs."""
+    """Memoized per-table preprocessing shared across engine runs.
 
-    def __init__(self, table: Table):
+    Without a cache, artifacts live in private instance fields (the
+    pre-facade behaviour, scoped to one ``run_many`` batch).  With an
+    :class:`repro.api.ArtifactCache`, they are stored under the table's
+    content digest instead, so separate batches — and separate
+    :class:`~repro.api.Dataset` facades over equal-content tables —
+    share one Hilbert encoding.
+    """
+
+    def __init__(self, table: Table, cache=None):
         self.table = table
+        self._cache = cache
         self._keys: np.ndarray | None = None
         self._sa_distribution: np.ndarray | None = None
         self._row_buckets: dict[tuple, np.ndarray] = {}
 
     def hilbert_keys(self) -> np.ndarray:
         """QI-space Hilbert keys, computed on first use."""
+        if self._cache is not None:
+            return self._cache.get_or_build(
+                ("hilbert_keys", self._cache.table_key(self.table)),
+                lambda: qi_space_keys(self.table),
+            )
         if self._keys is None:
             self._keys = qi_space_keys(self.table)
         return self._keys
 
     def sa_distribution(self) -> np.ndarray:
+        if self._cache is not None:
+            return self._cache.get_or_build(
+                ("sa_distribution", self._cache.table_key(self.table)),
+                self.table.sa_distribution,
+            )
         if self._sa_distribution is None:
             self._sa_distribution = self.table.sa_distribution()
         return self._sa_distribution
@@ -46,6 +65,11 @@ class PreparedTable:
     def row_buckets(self, partition: BucketPartition) -> np.ndarray:
         """Row→bucket map, memoized by the partition's bucket contents."""
         signature = tuple(tuple(int(v) for v in b) for b in partition.buckets)
+        if self._cache is not None:
+            return self._cache.get_or_build(
+                ("row_buckets", self._cache.table_key(self.table), signature),
+                lambda: row_buckets(self.table, partition),
+            )
         cached = self._row_buckets.get(signature)
         if cached is None:
             cached = row_buckets(self.table, partition)
@@ -74,6 +98,8 @@ class EngineJob:
 def run_many(
     tables: Table | Sequence[Table],
     jobs: Sequence[EngineJob | tuple],
+    *,
+    cache=None,
 ) -> list[RunResult]:
     """Run a batch of anonymization jobs with shared preprocessing.
 
@@ -81,13 +107,16 @@ def run_many(
         tables: One table or a sequence of tables the jobs draw from.
         jobs: :class:`EngineJob` records, or ``(algorithm, params)`` /
             ``(algorithm, params, table_index)`` tuples as shorthand.
+        cache: Optional :class:`repro.api.ArtifactCache`; per-table
+            preprocessing is then keyed by content digest, shared with
+            other batches (and facades) over the same cache.
 
     Returns:
         One :class:`~repro.engine.pipeline.RunResult` per job, in order.
     """
     if isinstance(tables, Table):
         tables = [tables]
-    prepared = [PreparedTable(t) for t in tables]
+    prepared = [PreparedTable(t, cache=cache) for t in tables]
     normalized: list[EngineJob] = []
     for job in jobs:
         if isinstance(job, EngineJob):

@@ -12,10 +12,10 @@ Expected shapes: attack accuracy decreases in ℓ and hugs the floor for
 large ℓ; against BUREL it stays near the floor for every β — the §7
 argument, quantified end-to-end.
 
-Both sweeps measure through :func:`repro.audit.audit_publications`
-(attack plus its random-assignment floor per publication, with
-coverage-validated group extraction) — numbers unchanged from the
-direct per-publication calls.
+Both sweeps measure through the batched audit layer via
+:meth:`repro.api.Dataset.audit` (attack plus its random-assignment
+floor per publication, with coverage-validated group extraction) —
+numbers unchanged from the direct per-publication calls.
 """
 
 from __future__ import annotations
@@ -25,8 +25,6 @@ import argparse
 import numpy as np
 
 from ..anonymity import anatomize
-from ..audit import audit_publications
-from ..core import burel
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -42,13 +40,13 @@ def run_anatomy_sweep(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> ExperimentResult:
     """Attack accuracy vs Anatomy's ℓ."""
-    table = config.table()
+    ds = config.dataset()
     publications = {
-        f"l={l}": anatomize(table, l, rng=np.random.default_rng(0))
+        f"l={l}": anatomize(ds.table, l, rng=np.random.default_rng(0))
         for l in ELLS
     }
-    reports = audit_publications(
-        table, publications, attacks=("definetti",), definetti_iterations=10
+    reports = ds.audit(
+        publications, attacks=("definetti",), definetti_iterations=10
     )
     series: dict[str, list[float]] = {
         "deFinetti": [r.definetti.accuracy for r in reports.values()],
@@ -69,14 +67,15 @@ def run_burel_sweep(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> ExperimentResult:
     """Attack accuracy vs BUREL's β (should hug the majority floor)."""
-    table = config.table()
+    ds = config.dataset()
     # Keyed by sweep position so repeated betas keep their own entries.
+    runs = ds.sweep([("burel", {"beta": beta}) for beta in config.betas])
     publications = {
-        f"{i}:beta={beta}": burel(table, beta).published
-        for i, beta in enumerate(config.betas)
+        f"{i}:beta={beta}": run.published
+        for i, (beta, run) in enumerate(zip(config.betas, runs))
     }
-    reports = audit_publications(
-        table, publications, attacks=("definetti",), definetti_iterations=10
+    reports = ds.audit(
+        publications, attacks=("definetti",), definetti_iterations=10
     )
     series: dict[str, list[float]] = {
         "deFinetti on BUREL": [

@@ -23,19 +23,18 @@ define t-closeness over ordered domains that way — it also matches the
 magnitudes of the paper's reported t values.  SABRE runs in its native
 ordered-EMD mode here so all three schemes spend the same budget.
 
-β and t are measured through the batched audit engine
-(:mod:`repro.audit`): the binary searches re-measure dozens of
-publications, and each gets one cached view shared by both metrics —
-numerically identical to the scalar references in ``repro.metrics``.
+The whole panel runs on one :class:`repro.api.Dataset` facade: every
+scheme dispatches through ``ds.anonymize`` (sharing the session's
+per-table preprocessing), and β and t are measured through the batched
+audit engine on each publication's cached view — numerically identical
+to the scalar references in ``repro.metrics``.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from ..anonymity import sabre, t_mondrian
 from ..audit import measured_beta, measured_t
-from ..core import burel
 from ..metrics import average_information_loss
 from .runner import (
     ExperimentConfig,
@@ -54,19 +53,25 @@ DEFAULT_CONFIG = ExperimentConfig()
 
 def run_fig4a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Real β at matched t-closeness, sweeping the β given to BUREL."""
-    table = config.table()
+    ds = config.dataset()
     rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
     t_values: list[float] = []
     for beta in FIG4A_BETAS:
-        b = burel(table, beta)
-        t_beta = measured_t(b.published, ordered=True)
+        view = ds.anonymize("burel", beta=beta).view()
+        t_beta = measured_t(view, ordered=True)
         t_values.append(t_beta)
-        rows["BUREL"].append(measured_beta(b.published))
+        rows["BUREL"].append(measured_beta(view))
         rows["tMondrian"].append(
-            measured_beta(t_mondrian(table, t_beta, ordered=True).published)
+            measured_beta(
+                ds.anonymize(
+                    "mondrian", kind="t", t=t_beta, ordered=True
+                ).view()
+            )
         )
         rows["SABRE"].append(
-            measured_beta(sabre(table, t_beta, ordered=True).published)
+            measured_beta(
+                ds.anonymize("sabre", t=t_beta, ordered=True).view()
+            )
         )
     return ExperimentResult(
         name="fig4a",
@@ -81,25 +86,31 @@ def run_fig4a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
 def run_fig4b(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Real β at matched t-closeness, sweeping the t given to the
     t-closeness schemes."""
-    table = config.table()
+    ds = config.dataset()
     rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
     matched_betas: list[float] = []
     for t in FIG4B_TS:
         rows["tMondrian"].append(
-            measured_beta(t_mondrian(table, t, ordered=True).published)
+            measured_beta(
+                ds.anonymize("mondrian", kind="t", t=t, ordered=True).view()
+            )
         )
         rows["SABRE"].append(
-            measured_beta(sabre(table, t, ordered=True).published)
+            measured_beta(ds.anonymize("sabre", t=t, ordered=True).view())
         )
 
         def burel_t(beta: float) -> float:
-            return measured_t(burel(table, beta).published, ordered=True)
+            return measured_t(
+                ds.anonymize("burel", beta=beta).view(), ordered=True
+            )
 
         beta_t, _ = search_monotone(
             burel_t, target=t, lo=0.05, hi=32.0, increasing=True
         )
         matched_betas.append(beta_t)
-        rows["BUREL"].append(measured_beta(burel(table, beta_t).published))
+        rows["BUREL"].append(
+            measured_beta(ds.anonymize("burel", beta=beta_t).view())
+        )
     return ExperimentResult(
         name="fig4b",
         title="real beta at equal t-closeness (vary t)",
@@ -119,36 +130,38 @@ def run_fig4c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     paper's fairness rule is respected: BUREL's AIL never exceeds the
     competitors' at the matched point.
     """
-    table = config.table()
+    ds = config.dataset()
     rows: dict[str, list[float]] = {"BUREL": [], "tMondrian": [], "SABRE": []}
     targets: list[float] = []
     for beta in FIG4A_BETAS:
-        b = burel(table, beta)
+        b = ds.anonymize("burel", beta=beta)
         target = average_information_loss(b.published)
         targets.append(target)
-        rows["BUREL"].append(measured_beta(b.published))
+        rows["BUREL"].append(measured_beta(b.view()))
 
         def tm_ail(t: float) -> float:
             return average_information_loss(
-                t_mondrian(table, t, ordered=True).published
+                ds.anonymize("mondrian", kind="t", t=t, ordered=True).published
             )
 
         def sabre_ail(t: float) -> float:
             return average_information_loss(
-                sabre(table, t, ordered=True).published
+                ds.anonymize("sabre", t=t, ordered=True).published
             )
 
         t_tm, _ = search_monotone(
             tm_ail, target=target, lo=0.005, hi=0.9, increasing=False
         )
         rows["tMondrian"].append(
-            measured_beta(t_mondrian(table, t_tm, ordered=True).published)
+            measured_beta(
+                ds.anonymize("mondrian", kind="t", t=t_tm, ordered=True).view()
+            )
         )
         t_sb, _ = search_monotone(
             sabre_ail, target=target, lo=0.005, hi=0.9, increasing=False
         )
         rows["SABRE"].append(
-            measured_beta(sabre(table, t_sb, ordered=True).published)
+            measured_beta(ds.anonymize("sabre", t=t_sb, ordered=True).view())
         )
     return ExperimentResult(
         name="fig4c",

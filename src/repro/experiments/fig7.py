@@ -13,8 +13,6 @@ from __future__ import annotations
 import argparse
 from dataclasses import replace
 
-from ..anonymity import d_mondrian, l_mondrian
-from ..core import burel
 from ..metrics import average_information_loss
 from .runner import (
     ExperimentConfig,
@@ -26,27 +24,30 @@ from .runner import (
 DEFAULT_CONFIG = ExperimentConfig(n=100_000)
 DEFAULT_BETA = 4.0
 
+#: The three measured curves as facade jobs (Fig. 8's conventions).
+SCHEMES = (
+    ("BUREL", "burel", lambda beta: {"beta": beta}),
+    ("LMondrian", "mondrian", lambda beta: {"kind": "beta", "beta": beta}),
+    ("DMondrian", "mondrian", lambda beta: {"kind": "delta", "beta": beta}),
+)
+
 
 def run(
     config: ExperimentConfig = DEFAULT_CONFIG, beta: float = DEFAULT_BETA
 ) -> list[ExperimentResult]:
     """Fig. 7(a) AIL and Fig. 7(b) seconds, vs table size."""
     sizes = [config.n * frac // 5 for frac in range(1, 6)]
-    ail: dict[str, list[float]] = {"BUREL": [], "LMondrian": [], "DMondrian": []}
-    secs: dict[str, list[float]] = {"BUREL": [], "LMondrian": [], "DMondrian": []}
+    ail: dict[str, list[float]] = {name: [] for name, _, _ in SCHEMES}
+    secs: dict[str, list[float]] = {name: [] for name, _, _ in SCHEMES}
     for size in sizes:
         # Fresh generation at each size mirrors the paper's random picks
-        # and keeps the SA distribution exact at every scale.
-        table = replace(config, n=size).table()
-        b = burel(table, beta)
-        ail["BUREL"].append(average_information_loss(b.published))
-        secs["BUREL"].append(b.elapsed_seconds)
-        lm = l_mondrian(table, beta)
-        ail["LMondrian"].append(average_information_loss(lm.published))
-        secs["LMondrian"].append(lm.elapsed_seconds)
-        dm = d_mondrian(table, beta)
-        ail["DMondrian"].append(average_information_loss(dm.published))
-        secs["DMondrian"].append(dm.elapsed_seconds)
+        # and keeps the SA distribution exact at every scale; a fresh
+        # facade per size keeps the timings honest (nothing precomputed).
+        ds = replace(config, n=size).dataset()
+        for name, algorithm, params in SCHEMES:
+            run_ = ds.anonymize(algorithm, **params(beta))
+            ail[name].append(average_information_loss(run_.published))
+            secs[name].append(run_.elapsed_seconds)
     return [
         ExperimentResult(
             name="fig7a",

@@ -10,6 +10,13 @@ BUREL, LMondrian and DMondrian, swept along four axes:
 
 Expected shapes: error falls with β and θ, rises with QI size, and is
 non-monotone in λ; BUREL's error is the lowest throughout in the paper.
+
+Each panel runs on one :class:`repro.api.Dataset` facade: the three
+publication schemes dispatch as one ``ds.sweep`` batch (shared per-table
+preprocessing), and every sweep point evaluates through ``ds.evaluate``,
+whose artifact cache carries the encoded workloads, QI-mask engine and
+precise answers across points — numbers identical to the direct
+``evaluate_workload`` calls this module used before.
 """
 
 from __future__ import annotations
@@ -17,13 +24,12 @@ from __future__ import annotations
 import argparse
 
 from ..dataset import CENSUS_QI_ORDER
-from ..query import evaluate_workload, make_workload
+from ..query import make_workload
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
     add_common_args,
     config_from_args,
-    run_algorithms,
 )
 
 DEFAULT_CONFIG = ExperimentConfig(qi=CENSUS_QI_ORDER)
@@ -42,33 +48,33 @@ GENERALIZATION_JOBS = (
 )
 
 
-def _publications(table, beta: float):
-    results = run_algorithms(
-        table,
-        [(algo, params(beta)) for _, algo, params in GENERALIZATION_JOBS],
+def _publications(ds, beta: float):
+    """One facade sweep covering all three curves at a given β."""
+    runs = ds.sweep(
+        [(algo, params(beta)) for _, algo, params in GENERALIZATION_JOBS]
     )
     return {
-        name: result.published
-        for (name, _, _), result in zip(GENERALIZATION_JOBS, results)
+        name: run.published
+        for (name, _, _), run in zip(GENERALIZATION_JOBS, runs)
     }
 
 
-def _workload_errors(table, publications, lam, theta, config) -> dict[str, float]:
+def _workload_errors(ds, publications, lam, theta, config) -> dict[str, float]:
     queries = make_workload(
-        table.schema, config.n_queries, lam, theta, config.query_seed
+        ds.schema, config.n_queries, lam, theta, config.query_seed
     )
-    profiles = evaluate_workload(table, publications, queries)
+    profiles = ds.evaluate(publications, queries)
     return {name: profile.median for name, profile in profiles.items()}
 
 
 def run_fig8a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs λ at full QI, fixed θ and β."""
-    table = config.table()
-    publications = _publications(table, DEFAULT_BETA)
-    lams = list(range(1, table.schema.n_qi + 1))
+    ds = config.dataset()
+    publications = _publications(ds, DEFAULT_BETA)
+    lams = list(range(1, ds.schema.n_qi + 1))
     series = {name: [] for name in ALGORITHMS}
     for lam in lams:
-        errors = _workload_errors(table, publications, lam, DEFAULT_THETA, config)
+        errors = _workload_errors(ds, publications, lam, DEFAULT_THETA, config)
         for name in ALGORITHMS:
             series[name].append(errors[name])
     return ExperimentResult(
@@ -82,12 +88,12 @@ def run_fig8a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
 
 def run_fig8b(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs β at fixed λ and θ."""
-    table = config.table()
+    ds = config.dataset()
     series = {name: [] for name in ALGORITHMS}
     for beta in config.betas:
-        publications = _publications(table, beta)
+        publications = _publications(ds, beta)
         errors = _workload_errors(
-            table, publications, DEFAULT_LAMBDA, DEFAULT_THETA, config
+            ds, publications, DEFAULT_LAMBDA, DEFAULT_THETA, config
         )
         for name in ALGORITHMS:
             series[name].append(errors[name])
@@ -105,10 +111,10 @@ def run_fig8c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     sizes = list(range(1, len(CENSUS_QI_ORDER) + 1))
     series = {name: [] for name in ALGORITHMS}
     for size in sizes:
-        table = config.table(qi=CENSUS_QI_ORDER[:size])
-        publications = _publications(table, DEFAULT_BETA)
+        ds = config.dataset(qi=CENSUS_QI_ORDER[:size])
+        publications = _publications(ds, DEFAULT_BETA)
         lam = min(DEFAULT_LAMBDA, size)
-        errors = _workload_errors(table, publications, lam, DEFAULT_THETA, config)
+        errors = _workload_errors(ds, publications, lam, DEFAULT_THETA, config)
         for name in ALGORITHMS:
             series[name].append(errors[name])
     return ExperimentResult(
@@ -123,12 +129,12 @@ def run_fig8c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
 
 def run_fig8d(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs selectivity θ at fixed λ and β."""
-    table = config.table()
-    publications = _publications(table, DEFAULT_BETA)
+    ds = config.dataset()
+    publications = _publications(ds, DEFAULT_BETA)
     series = {name: [] for name in ALGORITHMS}
     for theta in THETAS:
         errors = _workload_errors(
-            table, publications, DEFAULT_LAMBDA, theta, config
+            ds, publications, DEFAULT_LAMBDA, theta, config
         )
         for name in ALGORITHMS:
             series[name].append(errors[name])

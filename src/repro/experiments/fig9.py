@@ -26,7 +26,7 @@ import numpy as np
 from ..anonymity import BaselinePublication
 from ..core import perturb_table
 from ..dataset import CENSUS_QI_ORDER
-from ..query import BaselineAnswerer, PerturbedAnswerer, evaluate_workload, make_workload
+from ..query import BaselineAnswerer, PerturbedAnswerer, make_workload
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -42,14 +42,14 @@ THETAS = (0.05, 0.10, 0.15, 0.20, 0.25)
 PERTURBATION_SEED = 29
 
 
-def _errors(table, answerers, lam, theta, config) -> dict[str, float]:
+def _errors(ds, answerers, lam, theta, config) -> dict[str, float]:
     queries = make_workload(
-        table.schema, config.n_queries, lam, theta, config.query_seed
+        ds.schema, config.n_queries, lam, theta, config.query_seed
     )
     # Prebuilt answerers are passed straight through so the perturbation
     # weights cache stays warm across sweep points; both share one
-    # QI-mask source per (table, workload).
-    profiles = evaluate_workload(table, answerers, queries)
+    # QI-mask source per (table, workload) via the facade's cache.
+    profiles = ds.evaluate(answerers, queries)
     return {name: profile.median for name, profile in profiles.items()}
 
 
@@ -65,12 +65,12 @@ def _answerers(table, beta: float):
 
 def run_fig9a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs λ."""
-    table = config.table()
-    answerers = _answerers(table, DEFAULT_BETA)
-    lams = list(range(1, table.schema.n_qi + 1))
+    ds = config.dataset()
+    answerers = _answerers(ds.table, DEFAULT_BETA)
+    lams = list(range(1, ds.schema.n_qi + 1))
     series: dict[str, list[float]] = {name: [] for name in answerers}
     for lam in lams:
-        for name, err in _errors(table, answerers, lam, DEFAULT_THETA, config).items():
+        for name, err in _errors(ds, answerers, lam, DEFAULT_THETA, config).items():
             series[name].append(err)
     return ExperimentResult(
         name="fig9a",
@@ -83,12 +83,12 @@ def run_fig9a(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
 
 def run_fig9b(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs β (Baseline is β-independent up to workload noise)."""
-    table = config.table()
+    ds = config.dataset()
     series: dict[str, list[float]] = {}
     for beta in config.betas:
-        answerers = _answerers(table, beta)
+        answerers = _answerers(ds.table, beta)
         for name, err in _errors(
-            table, answerers, DEFAULT_LAMBDA, DEFAULT_THETA, config
+            ds, answerers, DEFAULT_LAMBDA, DEFAULT_THETA, config
         ).items():
             series.setdefault(name, []).append(err)
     return ExperimentResult(
@@ -105,10 +105,10 @@ def run_fig9c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     sizes = list(range(1, len(CENSUS_QI_ORDER) + 1))
     series: dict[str, list[float]] = {}
     for size in sizes:
-        table = config.table(qi=CENSUS_QI_ORDER[:size])
-        answerers = _answerers(table, DEFAULT_BETA)
+        ds = config.dataset(qi=CENSUS_QI_ORDER[:size])
+        answerers = _answerers(ds.table, DEFAULT_BETA)
         lam = min(DEFAULT_LAMBDA, size)
-        for name, err in _errors(table, answerers, lam, DEFAULT_THETA, config).items():
+        for name, err in _errors(ds, answerers, lam, DEFAULT_THETA, config).items():
             series.setdefault(name, []).append(err)
     return ExperimentResult(
         name="fig9c",
@@ -122,11 +122,11 @@ def run_fig9c(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
 
 def run_fig9d(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """Error vs selectivity θ."""
-    table = config.table()
-    answerers = _answerers(table, DEFAULT_BETA)
+    ds = config.dataset()
+    answerers = _answerers(ds.table, DEFAULT_BETA)
     series: dict[str, list[float]] = {name: [] for name in answerers}
     for theta in THETAS:
-        for name, err in _errors(table, answerers, DEFAULT_LAMBDA, theta, config).items():
+        for name, err in _errors(ds, answerers, DEFAULT_LAMBDA, theta, config).items():
             series[name].append(err)
     return ExperimentResult(
         name="fig9d",

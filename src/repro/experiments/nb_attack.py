@@ -18,7 +18,6 @@ import argparse
 
 from ..attacks import naive_bayes_attack_raw
 from ..audit import naive_bayes_attack
-from ..core import burel
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -31,16 +30,17 @@ DEFAULT_CONFIG = ExperimentConfig()
 
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """NB attack accuracy vs β on BUREL publications."""
-    table = config.table()
-    raw = naive_bayes_attack_raw(table)
+    ds = config.dataset()
+    raw = naive_bayes_attack_raw(ds.table)
     series: dict[str, list[float]] = {
         "NB on BUREL": [],
         "NB on raw data": [],
         "majority baseline": [],
     }
     for beta in config.betas:
-        published = burel(table, beta).published
-        attack = naive_bayes_attack(published)
+        attack = naive_bayes_attack(
+            ds.anonymize("burel", beta=beta).view()
+        )
         series["NB on BUREL"].append(attack.accuracy)
         series["NB on raw data"].append(raw.accuracy)
         series["majority baseline"].append(attack.majority_baseline)

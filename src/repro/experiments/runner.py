@@ -5,11 +5,12 @@ this module supplies the configuration record, the result container with
 text/markdown rendering, and the binary searches Fig. 4 needs to match
 privacy or information-loss levels across algorithms.
 
-Algorithm dispatch goes through the staged engine: ``run_algorithm`` /
-``run_algorithms`` (re-exported from :mod:`repro.engine`) give
-experiments uniform access to any registered scheme with per-stage
-timings, and :class:`~repro.engine.batch.PreparedTable` shares per-table
-preprocessing across a sweep.
+Algorithm dispatch goes through the :mod:`repro.api` session facade:
+``ExperimentConfig.dataset()`` wraps the configured table in a
+:class:`~repro.api.Dataset` whose shared artifact cache carries the
+per-table preprocessing, publication views and precise workload answers
+across a sweep.  ``run_algorithm`` / ``run_algorithms`` (re-exported
+from :mod:`repro.engine`) remain for direct engine access.
 """
 
 from __future__ import annotations
@@ -65,6 +66,22 @@ class ExperimentConfig:
             correlation=self.correlation,
             qi_names=tuple(qi) if qi is not None else self.qi,
         )
+
+    def dataset(
+        self,
+        qi: Sequence[str] | None = None,
+        n: int | None = None,
+        cache=None,
+    ):
+        """The configured table wrapped in a :class:`repro.api.Dataset`.
+
+        Each call builds a fresh facade (experiments are deterministic
+        given the config, never cache state); pass ``cache`` to share
+        artifacts across facades over equal-content tables.
+        """
+        from ..api import Dataset
+
+        return Dataset(self.table(qi=qi, n=n), cache=cache)
 
 
 @dataclass

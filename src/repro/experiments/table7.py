@@ -14,13 +14,11 @@ from __future__ import annotations
 
 import argparse
 
-from ..audit import audit_publications
 from .runner import (
     ExperimentConfig,
     ExperimentResult,
     add_common_args,
     config_from_args,
-    run_algorithms,
 )
 
 DEFAULT_CONFIG = ExperimentConfig()
@@ -29,22 +27,20 @@ DEFAULT_CONFIG = ExperimentConfig()
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
     """The §7 table: β → (t, Avg t, ℓ, Avg ℓ).
 
-    The β sweep runs as one staged-engine batch sharing per-table
-    preprocessing, and the measurement side is one
-    :func:`~repro.audit.audit_publications` batch: all four reported
-    columns read off each publication's cached view.
+    The β sweep runs as one :meth:`repro.api.Dataset.sweep` batch
+    sharing per-table preprocessing, and the measurement side is one
+    :meth:`~repro.api.Dataset.audit` batch: all four reported columns
+    read off each publication's cached view.
     """
-    table = config.table()
-    results = run_algorithms(
-        table, [("burel", {"beta": beta}) for beta in config.betas]
-    )
+    ds = config.dataset()
+    runs = ds.sweep([("burel", {"beta": beta}) for beta in config.betas])
     # Keyed by sweep position, not by β: a config with repeated betas
     # must keep one series entry per sweep point.
     publications = {
-        f"{i}:beta={beta}": result.published
-        for i, (beta, result) in enumerate(zip(config.betas, results))
+        f"{i}:beta={beta}": run.published
+        for i, (beta, run) in enumerate(zip(config.betas, runs))
     }
-    reports = audit_publications(table, publications, ordered_emd=True)
+    reports = ds.audit(publications, ordered_emd=True)
     series: dict[str, list[float]] = {"t": [], "Avg t": [], "l": [], "Avg l": []}
     for name in publications:
         profile = reports[name].privacy

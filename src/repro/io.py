@@ -31,6 +31,7 @@ beyond numpy is introduced.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from pathlib import Path
 
@@ -390,6 +391,68 @@ def publication_payload(published) -> tuple[dict, dict]:
             f"cannot serialize publication type {type(published).__name__!r}"
         )
     return meta, arrays
+
+
+def content_digest(meta: dict, arrays: "dict[str, np.ndarray]") -> str:
+    """SHA-256 of a payload's logical content.
+
+    Hashes the canonical metadata JSON plus each array's name, dtype,
+    shape and raw bytes (names sorted), so the id is independent of
+    archive container details like zip timestamps.  This digest is the
+    publication id of the :mod:`repro.service` store *and* the
+    publication key of the :class:`repro.api.ArtifactCache`, so a
+    publication reloaded from a store hits the same cache entries as
+    the object it was saved from.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(json.dumps(meta, sort_keys=True).encode())
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        hasher.update(name.encode())
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+def table_digest(table: Table) -> str:
+    """SHA-256 of a table's logical content (schema spec + QI + SA).
+
+    The result is memoized on the table object, so repeated cache-key
+    derivations after the first are free.  Two tables with equal schema
+    and equal cell values share a digest even when they are distinct
+    objects — e.g. the same microdata reloaded from CSV.
+    """
+    digest = table.__dict__.get("_content_digest")
+    if digest is None:
+        hasher = hashlib.sha256()
+        hasher.update(
+            json.dumps(schema_to_spec(table.schema), sort_keys=True).encode()
+        )
+        hasher.update(np.ascontiguousarray(table.qi).tobytes())
+        hasher.update(np.ascontiguousarray(table.sa).tobytes())
+        digest = hasher.hexdigest()
+        table._content_digest = digest
+    return digest
+
+
+def publication_digest(published) -> str:
+    """Content digest of a publication, memoized on the object.
+
+    Prefers a digest already attached by the publication store (``put``
+    and ``get`` both stamp one), falling back to hashing the lossless
+    payload — the exact bytes the store would persist — so facade cache
+    keys always agree with store ids.
+    """
+    digest = getattr(published, "_content_digest", None)
+    if digest is None:
+        meta, arrays = publication_payload(published)
+        digest = content_digest(meta, arrays)
+        try:
+            published._content_digest = digest
+        except AttributeError:  # pragma: no cover - frozen/slots formats
+            pass
+    return digest
 
 
 def publication_from_payload(meta: dict, arrays: dict):

@@ -72,7 +72,11 @@ def js_divergence(p: np.ndarray, q: np.ndarray) -> float:
     """Jensen–Shannon divergence in bits (always finite, in [0, 1])."""
     p, q = _validate(p, q)
     mid = 0.5 * (p + q)
-    return 0.5 * kl_divergence(p, mid) + 0.5 * kl_divergence(q, mid)
+    value = 0.5 * kl_divergence(p, mid) + 0.5 * kl_divergence(q, mid)
+    # The two KL terms can round to a hair outside the mathematical
+    # [0, 1] range (e.g. -8e-17 for p == q); clamp so the documented
+    # contract holds exactly.
+    return float(min(max(value, 0.0), 1.0))
 
 
 def max_relative_gain(p: np.ndarray, q: np.ndarray) -> float:

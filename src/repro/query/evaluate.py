@@ -34,6 +34,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .._deprecation import deprecated_entry_point
 from ..anonymity.anatomy import AnatomyTable, BaselinePublication
 from ..core.perturb import PerturbedTable
 from ..dataset.published import GeneralizedTable
@@ -188,11 +189,24 @@ class TableMaskEngine:
     strategies produce identical masks and counts.
     """
 
-    def __init__(self, table: Table, index_budget: int = DEFAULT_INDEX_BUDGET):
-        # Weak reference only: engines live as values of a
+    def __init__(
+        self,
+        table: Table,
+        index_budget: int = DEFAULT_INDEX_BUDGET,
+        *,
+        weak: bool = True,
+    ):
+        # Weak reference by default: engines live as values of a
         # WeakKeyDictionary keyed by their table, and a strong reference
-        # here would pin the key (and this whole index) forever.
-        self._table = weakref.ref(table)
+        # there would pin the key (and this whole index) forever.  The
+        # facade's ArtifactCache keys engines by *content* instead, and
+        # an equal-content table may outlive the object the engine was
+        # built from — those engines hold the table strongly (the cache
+        # bounds and invalidates them explicitly).
+        if weak:
+            self._table = weakref.ref(table)
+        else:
+            self._table = lambda: table
         self.index: RangeBitmapIndex | None = None
         if RangeBitmapIndex.estimate_bytes(table) <= index_budget:
             self.index = RangeBitmapIndex(table)
@@ -286,8 +300,22 @@ _ENCODED: "weakref.WeakKeyDictionary[Table, dict]" = (
 _PRECISE_PER_TABLE = 8
 
 
-def mask_engine(table: Table) -> TableMaskEngine:
-    """The memoized :class:`TableMaskEngine` for ``table``."""
+def mask_engine(table: Table, cache=None) -> TableMaskEngine:
+    """The memoized :class:`TableMaskEngine` for ``table``.
+
+    Args:
+        table: The source microdata.
+        cache: Optional :class:`repro.api.ArtifactCache`.  When given,
+            the engine is keyed by the table's *content digest* instead
+            of object identity, so an equal-content table reloaded from
+            disk reuses the already-built bitmap index; without it, the
+            legacy weak per-object registry is used.
+    """
+    if cache is not None:
+        key = ("mask_engine", cache.table_key(table))
+        return cache.get_or_build(
+            key, lambda: TableMaskEngine(table, weak=False)
+        )
     engine = _ENGINES.get(table)
     if engine is None:
         engine = TableMaskEngine(table)
@@ -296,7 +324,9 @@ def mask_engine(table: Table) -> TableMaskEngine:
 
 
 def _encoded(
-    table: Table, queries: Sequence[CountQuery] | EncodedWorkload
+    table: Table,
+    queries: Sequence[CountQuery] | EncodedWorkload,
+    artifacts=None,
 ) -> EncodedWorkload:
     """Encode against ``table``'s schema, memoized per (table, workload).
 
@@ -305,8 +335,13 @@ def _encoded(
     """
     if isinstance(queries, EncodedWorkload):
         return queries
-    per_table = _ENCODED.setdefault(table, {})
     key = tuple(queries)
+    if artifacts is not None:
+        return artifacts.get_or_build(
+            ("encoded", artifacts.table_key(table), key),
+            lambda: EncodedWorkload.encode(table.schema, key),
+        )
+    per_table = _ENCODED.setdefault(table, {})
     hit = per_table.get(key)
     if hit is None:
         hit = EncodedWorkload.encode(table.schema, key)
@@ -320,6 +355,7 @@ def answer_precise_batch(
     table: Table,
     queries: Sequence[CountQuery] | EncodedWorkload,
     cache: bool = True,
+    artifacts=None,
 ) -> np.ndarray:
     """Exact answers for a whole workload in one batched pass.
 
@@ -332,15 +368,28 @@ def answer_precise_batch(
         table: The original microdata.
         queries: The workload (sequence of queries or already encoded).
         cache: Set False to bypass the per-table memo (benchmarks).
+        artifacts: Optional :class:`repro.api.ArtifactCache`; replaces
+            the module-level weak memo with content-keyed entries that
+            survive table reloads.
     """
-    enc = _encoded(table, queries)
+    enc = _encoded(table, queries, artifacts)
     key = enc.queries
+    if cache and artifacts is not None:
+
+        def build() -> np.ndarray:
+            out = mask_engine(table, artifacts).precise(enc)
+            out.setflags(write=False)
+            return out
+
+        return artifacts.get_or_build(
+            ("precise", artifacts.table_key(table), key), build
+        )
     if cache:
         per_table = _PRECISE.setdefault(table, {})
         hit = per_table.get(key)
         if hit is not None:
             return hit
-    out = mask_engine(table).precise(enc)
+    out = mask_engine(table, artifacts).precise(enc)
     if cache:
         # The cached object itself is handed to every later caller; it
         # must be immutable or one caller's in-place edit would corrupt
@@ -374,12 +423,23 @@ def make_answerer(published):
     )
 
 
-def _coerce_answerer(published_or_answerer):
+def _coerce_answerer(published_or_answerer, artifacts=None):
     """Accept a publication, a prebuilt answerer (its caches survive),
-    or any plain per-query callable."""
+    or any plain per-query callable.
+
+    With an artifact cache, answerers built from publications are
+    memoized under the publication's content digest, so sweep points —
+    and store reloads of the same content — keep per-instance caches
+    (e.g. the perturbation weights) warm.
+    """
     if hasattr(published_or_answerer, "batch"):
         return published_or_answerer
     try:
+        if artifacts is not None:
+            key = ("answerer", artifacts.publication_key(published_or_answerer))
+            return artifacts.get_or_build(
+                key, lambda: make_answerer(published_or_answerer)
+            )
         return make_answerer(published_or_answerer)
     except TypeError:
         if callable(published_or_answerer):
@@ -392,10 +452,25 @@ def _source_of(answerer) -> Table | None:
     return getattr(published, "source", None)
 
 
+def _check_source(name: str, source: Table, table: Table, artifacts) -> None:
+    """A publication must be over ``table`` — by identity, or (when an
+    artifact cache can derive content keys) by content: a publication
+    reloaded from a store embeds a reconstructed source object that is
+    equal to, but not identical to, the caller's table."""
+    if source is table:
+        return
+    if artifacts is not None and artifacts.table_key(
+        source
+    ) == artifacts.table_key(table):
+        return
+    raise ValueError(f"publication {name!r} was built over a different table")
+
+
 def batch_estimates(
     table: Table,
     publications: Mapping[str, object],
     queries: Sequence[CountQuery] | EncodedWorkload,
+    artifacts=None,
 ) -> "dict[str, np.ndarray]":
     """Batch estimates of every publication over one workload.
 
@@ -409,35 +484,37 @@ def batch_estimates(
             answerers keeps per-instance caches, e.g. the perturbation
             weights, warm across sweep points).
         queries: The workload.
+        artifacts: Optional :class:`repro.api.ArtifactCache` providing
+            the content-keyed mask engine, encoded workload and
+            answerers (the facade's shared-artifact path).
 
     Returns:
         Name → ``(Q,)`` float64 estimates, bit-identical to the scalar
         per-query answerers.
     """
-    enc = _encoded(table, queries)
+    enc = _encoded(table, queries, artifacts)
     answerers = {
-        name: _coerce_answerer(value) for name, value in publications.items()
+        name: _coerce_answerer(value, artifacts)
+        for name, value in publications.items()
     }
     for name, answerer in answerers.items():
         source = _source_of(answerer)
-        if source is not None and source is not table:
-            raise ValueError(
-                f"publication {name!r} was built over a different table"
-            )
+        if source is not None:
+            _check_source(name, source, table, artifacts)
     out: dict[str, np.ndarray] = {}
     mask_users: dict[str, object] = {}
     for name, answerer in answerers.items():
         if isinstance(answerer, (PerturbedAnswerer, AnatomyAnswerer)):
             mask_users[name] = answerer
         elif isinstance(answerer, BaselineAnswerer):
-            engine = mask_engine(table)
+            engine = mask_engine(table, artifacts)
             out[name] = answerer.batch(enc, qi_counts=engine.qi_counts(enc))
         elif hasattr(answerer, "batch"):
             out[name] = np.asarray(answerer.batch(enc))
         else:  # plain per-query callable
             out[name] = np.array([answerer(q) for q in enc.queries])
     if mask_users:
-        engine = mask_engine(table)
+        engine = mask_engine(table, artifacts)
         for name in mask_users:
             out[name] = np.empty(enc.n_queries)
         for start, stop in engine._blocks(enc.n_queries):
@@ -448,35 +525,46 @@ def batch_estimates(
     return {name: out[name] for name in answerers}
 
 
-def evaluate_workload(
+def _evaluate_workload(
     table: Table,
     publications: Mapping[str, object],
     queries: Sequence[CountQuery] | EncodedWorkload,
     cache: bool = True,
+    artifacts=None,
 ) -> "dict[str, ErrorProfile]":
     """Evaluate a COUNT-query workload over a set of publications.
 
-    The single entry point the experiments use: precise answers come
-    from the cached batched pass, every estimator shares the same
-    QI-mask source, and each publication gets a full
-    :class:`ErrorProfile` (Fig. 8/9 read ``.median``).
+    Precise answers come from the cached batched pass, every estimator
+    shares the same QI-mask source, and each publication gets a full
+    :class:`ErrorProfile` (Fig. 8/9 read ``.median``).  This is the
+    implementation behind both the deprecated module-level
+    :func:`evaluate_workload` and :meth:`repro.api.Dataset.evaluate`
+    (which supplies ``artifacts``).
 
     Args:
         table: The source microdata.
         publications: Name → publication or prebuilt answerer.
         queries: The workload.
         cache: Forwarded to :func:`answer_precise_batch`.
+        artifacts: Optional :class:`repro.api.ArtifactCache`.
 
     Returns:
         Name → :class:`ErrorProfile`, in ``publications`` order.
     """
-    enc = _encoded(table, queries)
-    estimates = batch_estimates(table, publications, enc)
-    precise = answer_precise_batch(table, enc, cache=cache)
+    enc = _encoded(table, queries, artifacts)
+    estimates = batch_estimates(table, publications, enc, artifacts)
+    precise = answer_precise_batch(table, enc, cache=cache, artifacts=artifacts)
     return {
         name: error_profile(precise, estimate)
         for name, estimate in estimates.items()
     }
+
+
+evaluate_workload = deprecated_entry_point(
+    _evaluate_workload,
+    "repro.query.evaluate_workload()",
+    "repro.api.Dataset.evaluate()",
+)
 
 
 def workload_error(

@@ -10,10 +10,13 @@ mechanisms make the path cheap under heavy traffic:
   engine amortizes mask construction across the batch exactly as the
   experiment sweeps do;
 * **artifact reuse** — loaded publications live in an LRU cache keyed
-  by publication id; holding the publication keeps its source
-  :class:`~repro.dataset.table.Table` alive, and with it the weakly
-  keyed per-table :class:`~repro.query.evaluate.RangeBitmapIndex` /
-  mask engine, so repeated requests never rebuild indexes;
+  by publication id, and their serving artifacts (bitmap index / mask
+  engine, answerers) live in a shared
+  :class:`~repro.api.ArtifactCache` keyed by *content digest*, so
+  repeated requests never rebuild indexes — even across a publication
+  being evicted and reloaded, or two store objects holding the same
+  content.  Evicting a publication explicitly invalidates its artifact
+  entries, so the LRU bound still bounds memory;
 * **thread-pool execution** — worker threads serve different
   publications (or successive batches of one) concurrently; numpy
   kernels release the GIL for the heavy parts.
@@ -100,6 +103,10 @@ class QueryService:
             submitters coalesce into one batch (0 drains immediately;
             under sustained load batches fill while workers are busy,
             so the linger mainly helps bursty low-load traffic).
+        artifact_cache: Optional :class:`repro.api.ArtifactCache` the
+            batched query engine keys mask engines / answerers in; pass
+            a facade's cache to share artifacts with it, or leave None
+            for a private one.
 
     Use as a context manager, or call :meth:`close` to join the pool.
     """
@@ -112,11 +119,17 @@ class QueryService:
         cache_size: int = 8,
         max_batch: int = 1024,
         linger_seconds: float = 0.0,
+        artifact_cache=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if artifact_cache is None:
+            from ..api.cache import ArtifactCache
+
+            artifact_cache = ArtifactCache()
+        self._artifacts = artifact_cache
         self._store = store
         self._max_batch = max_batch
         self._linger = linger_seconds
@@ -238,7 +251,27 @@ class QueryService:
                         self._aliases[pub_id] = record.pub_id
                     self._cache[record.pub_id] = serving
                     while len(self._cache) > self._cache_size:
-                        self._cache.popitem(last=False)
+                        _, evicted = self._cache.popitem(last=False)
+                        # Dropping the publication must also drop its
+                        # content-keyed serving artifacts, or the LRU
+                        # bound would stop bounding memory.  Publication-
+                        # keyed entries (the answerer) go unconditionally;
+                        # the table-keyed mask engine is shared by every
+                        # publication over the same source, so it only
+                        # goes when the *last* such publication leaves.
+                        self._artifacts.invalidate(
+                            digest=evicted.record.pub_id
+                        )
+                        table_digest = self._artifacts.table_key(
+                            evicted.table
+                        )
+                        if not any(
+                            self._artifacts.table_key(s.table) == table_digest
+                            for s in self._cache.values()
+                        ):
+                            self._artifacts.invalidate(
+                                "mask_engine", digest=table_digest
+                            )
                         with self.stats.lock:
                             self.stats.cache_evictions += 1
                     with self.stats.lock:
@@ -289,7 +322,10 @@ class QueryService:
             serving = self._serving(pub_id)
             enc = EncodedWorkload.encode(serving.schema, queries)
             estimates = batch_estimates(
-                serving.table, {"served": serving.answerer}, enc
+                serving.table,
+                {"served": serving.answerer},
+                enc,
+                artifacts=self._artifacts,
             )["served"]
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             for future in futures:

@@ -25,7 +25,6 @@ same publications agree on every id.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,12 +33,13 @@ from typing import Any, Callable, Mapping
 import numpy as np
 
 from ..anonymity.anatomy import AnatomyTable, BaselinePublication
-from ..audit import audit_publications
+from ..audit.evaluate import _audit_publications
 from ..core.model import BetaLikeness
 from ..core.perturb import PerturbationScheme, PerturbedTable
 from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 from ..io import (
+    content_digest,
     publication_from_payload,
     publication_payload,
     read_publication_payload,
@@ -73,13 +73,16 @@ def _check_requirement(requirement: Mapping[str, Any]) -> dict:
 
 
 def _certify_grouped(
-    published, requirement: Mapping[str, Any], *, ordered_emd: bool
+    published, requirement: Mapping[str, Any], *, ordered_emd: bool, cache=None
 ) -> dict:
     """Audit a group-based publication and compare against the contract."""
     from ..audit.view import publication_view
 
-    report = audit_publications(
-        published.source, {"candidate": published}, ordered_emd=ordered_emd
+    report = _audit_publications(
+        published.source,
+        {"candidate": published},
+        ordered_emd=ordered_emd,
+        cache=cache,
     )["candidate"]
     privacy = report.privacy
     failures = []
@@ -91,7 +94,7 @@ def _certify_grouped(
         model = BetaLikeness(
             requirement["beta"], enhanced=requirement.get("enhanced", True)
         )
-        view = publication_view(published)
+        view = publication_view(published, cache=cache)
         bound = model.threshold(view.global_distribution)
         excess = float(
             (view.distributions - bound[None, :]).max()
@@ -213,7 +216,11 @@ def _certify_baseline(
 
 
 def certify_publication(
-    published, requirement: Mapping[str, Any], *, ordered_emd: bool = False
+    published,
+    requirement: Mapping[str, Any],
+    *,
+    ordered_emd: bool = False,
+    cache=None,
 ) -> dict:
     """Certify that a publication honors its declared requirement.
 
@@ -222,6 +229,9 @@ def certify_publication(
         requirement: The declared privacy contract — keys among
             ``beta`` (+ ``enhanced``), ``t`` (+ ``ordered``), ``l``.
         ordered_emd: Measure closeness with the ordered ground distance.
+        cache: Optional :class:`repro.api.ArtifactCache`; certification
+            then reuses (and warms) the content-keyed publication view a
+            facade audit of the same release already built.
 
     Returns:
         The JSON-serializable audit evidence to record in the manifest.
@@ -234,7 +244,7 @@ def certify_publication(
         ordered_emd = bool(requirement["ordered"])
     if isinstance(published, (GeneralizedTable, AnatomyTable)):
         return _certify_grouped(
-            published, requirement, ordered_emd=ordered_emd
+            published, requirement, ordered_emd=ordered_emd, cache=cache
         )
     if isinstance(published, PerturbedTable):
         return _certify_perturbed(published, requirement)
@@ -245,22 +255,9 @@ def certify_publication(
     )
 
 
-def content_digest(meta: dict, arrays: Mapping[str, np.ndarray]) -> str:
-    """SHA-256 of a payload's logical content.
-
-    Hashes the canonical metadata JSON plus each array's name, dtype,
-    shape and raw bytes (names sorted), so the id is independent of
-    archive container details like zip timestamps.
-    """
-    hasher = hashlib.sha256()
-    hasher.update(json.dumps(meta, sort_keys=True).encode())
-    for name in sorted(arrays):
-        array = np.ascontiguousarray(arrays[name])
-        hasher.update(name.encode())
-        hasher.update(str(array.dtype).encode())
-        hasher.update(str(array.shape).encode())
-        hasher.update(array.tobytes())
-    return hasher.hexdigest()
+# content_digest now lives in repro.io (next to the payload builders it
+# hashes) and doubles as the facade ArtifactCache's publication key; the
+# re-export above keeps ``repro.service.store.content_digest`` working.
 
 
 def _json_safe(value):
@@ -306,10 +303,17 @@ class PublicationRecord:
 
 
 class PublicationStore:
-    """Content-addressed, certification-gated publication persistence."""
+    """Content-addressed, certification-gated publication persistence.
 
-    def __init__(self, root: str | Path):
+    Args:
+        root: Store directory (created on demand).
+        cache: Optional default :class:`repro.api.ArtifactCache` used by
+            admission audits (``put`` accepts a per-call override).
+    """
+
+    def __init__(self, root: str | Path, *, cache=None):
         self.root = Path(root)
+        self.cache = cache
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
 
@@ -326,6 +330,7 @@ class PublicationStore:
         params: Mapping[str, Any] | None = None,
         seed: int | None = None,
         ordered_emd: bool = False,
+        cache=None,
     ) -> PublicationRecord:
         """Certify and persist a publication; returns its record.
 
@@ -335,12 +340,27 @@ class PublicationStore:
         manifest records the *most recent* certified contract, so
         re-publishing under a different (just-certified) requirement
         refreshes the sidecar rather than returning stale provenance.
+
+        ``cache`` (default: the store's) lets the admission audit reuse
+        a facade's content-keyed publication view instead of rebuilding
+        it.
         """
+        if cache is None:
+            cache = self.cache
         audit = certify_publication(
-            published, requirement, ordered_emd=ordered_emd
+            published, requirement, ordered_emd=ordered_emd, cache=cache
         )
         meta, arrays = publication_payload(published)
-        digest = content_digest(meta, arrays)
+        # Trust a digest already memoized on the object (a cached
+        # certification or a store round-trip computed it from these
+        # same bytes) instead of re-hashing every array per admission;
+        # `get` re-verifies payloads against their id on read anyway.
+        digest = getattr(published, "_content_digest", None)
+        if digest is None:
+            digest = content_digest(meta, arrays)
+            # Stamp the content id on the object so later facade cache
+            # lookups (views, answerers) key it without re-hashing.
+            published._content_digest = digest
         directory = self._objects / digest
         n_groups = None
         if isinstance(published, GeneralizedTable):
@@ -418,7 +438,12 @@ class PublicationStore:
                 f"payload of {pub_id} does not hash to its id; "
                 "the store object is corrupt"
             )
-        return publication_from_payload(meta, arrays)
+        published = publication_from_payload(meta, arrays)
+        # The reloaded object is content-equal to what was admitted;
+        # stamping the id lets content-keyed facade caches treat it as
+        # the same publication (the whole point of content addressing).
+        published._content_digest = pub_id
+        return published
 
     # ------------------------------------------------------------------
     # Engine integration
@@ -430,6 +455,7 @@ class PublicationStore:
         *,
         seed: int | None = None,
         ordered_emd: bool = False,
+        cache=None,
     ) -> "StoreSink":
         """A pipeline sink admitting each run's publication to the store.
 
@@ -438,7 +464,7 @@ class PublicationStore:
         ``sink.records``.
         """
         return StoreSink(
-            self, requirement, seed=seed, ordered_emd=ordered_emd
+            self, requirement, seed=seed, ordered_emd=ordered_emd, cache=cache
         )
 
 
@@ -452,11 +478,13 @@ class StoreSink:
         *,
         seed: int | None = None,
         ordered_emd: bool = False,
+        cache=None,
     ):
         self.store = store
         self.requirement = dict(requirement)
         self.seed = seed
         self.ordered_emd = ordered_emd
+        self.cache = cache
         self.records: list[PublicationRecord] = []
 
     def __call__(self, result) -> None:
@@ -468,6 +496,7 @@ class StoreSink:
                 params=result.params,
                 seed=self.seed,
                 ordered_emd=self.ordered_emd,
+                cache=self.cache,
             )
         )
 
@@ -480,13 +509,15 @@ def publish_run(
     requirement: Mapping[str, Any],
     rng: "np.random.Generator | int | None" = None,
     ordered_emd: bool = False,
+    cache=None,
     **params: Any,
 ):
     """Run an engine algorithm and admit its publication to the store.
 
     The anonymize → certify → persist path in one call, implemented via
     the engine's publish sink so provenance (algorithm, resolved params,
-    seed) flows from the run itself.
+    seed) flows from the run itself.  (The fluent spelling of the same
+    chain is ``Dataset(table).anonymize(...).publish(store, ...)``.)
 
     Returns:
         ``(RunResult, PublicationRecord)``.
@@ -501,6 +532,7 @@ def publish_run(
         requirement,
         seed=rng if isinstance(rng, int) else None,
         ordered_emd=ordered_emd,
+        cache=cache,
     )
     result = engine_run(algorithm, table, rng=rng, sink=sink, **params)
     return result, sink.records[0]

@@ -1,0 +1,394 @@
+"""The repro.api session facade: byte-identity against the direct layer
+calls, artifact-cache semantics, sweep determinism, deprecation shims."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro._deprecation as deprecation
+from repro.anonymity import BaselinePublication
+from repro.api import ArtifactCache, Dataset
+from repro.audit.evaluate import _audit_publications
+from repro.engine import run as engine_run
+from repro.io import publication_digest, table_digest
+from repro.query import make_workload
+from repro.query.evaluate import _evaluate_workload
+from repro.service import CertificationError, PublicationStore
+from repro.service.store import certify_publication
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return Dataset.from_census(
+        3_000, seed=7, qi_names=("Age", "Gender", "Education")
+    )
+
+
+#: (name, how to build through the facade, declared contract) for all
+#: four answerable publication kinds.
+KINDS = ("generalized", "perturbed", "anatomy", "baseline")
+
+
+@pytest.fixture(scope="module")
+def runs(dataset):
+    return {
+        "generalized": dataset.anonymize("burel", beta=2.0),
+        "perturbed": dataset.anonymize("perturb", rng=29, beta=4.0),
+        "anatomy": dataset.anonymize("anatomy", rng=1, l=4),
+    }
+
+
+@pytest.fixture(scope="module")
+def publications(dataset, runs):
+    pubs = {name: run.published for name, run in runs.items()}
+    pubs["baseline"] = BaselinePublication(dataset.table)
+    return pubs
+
+
+@pytest.fixture(scope="module")
+def workload(dataset):
+    return dataset.workload(150, 2, 0.1, seed=13)
+
+
+REQUIREMENTS = {
+    "generalized": {"beta": 2.0},
+    "perturbed": {"beta": 4.0},
+    "anatomy": {"l": 4},
+    "baseline": {"l": 2},
+}
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: the facade must be a pure re-plumbing of the layers
+# ----------------------------------------------------------------------
+
+
+class TestByteIdentity:
+    def test_anonymize_matches_engine_run(self, dataset):
+        facade = dataset.anonymize("burel", beta=3.0).published
+        direct = engine_run("burel", dataset.table, beta=3.0).published
+        assert publication_digest(facade) == publication_digest(direct)
+
+    def test_seeded_runs_match_engine(self, dataset):
+        facade = dataset.anonymize("anatomy", rng=5, l=3).published
+        direct = engine_run("anatomy", dataset.table, rng=5, l=3).published
+        assert publication_digest(facade) == publication_digest(direct)
+
+    def test_evaluate_all_kinds(self, dataset, publications, workload):
+        facade = dataset.evaluate(publications, workload)
+        direct = _evaluate_workload(
+            dataset.table, publications, workload, cache=False
+        )
+        assert list(facade) == list(KINDS)
+        for kind in KINDS:
+            assert facade[kind] == direct[kind], kind
+
+    def test_audit_group_kinds(self, dataset, publications):
+        grouped = {
+            k: publications[k] for k in ("generalized", "anatomy")
+        }
+        facade = dataset.audit(
+            grouped, attacks=("skewness",), ordered_emd=True
+        )
+        direct = _audit_publications(
+            dataset.table, grouped, attacks=("skewness",), ordered_emd=True
+        )
+        for kind, report in facade.items():
+            assert report.privacy == direct[kind].privacy
+            assert report.risk == direct[kind].risk
+            assert report.skewness == direct[kind].skewness
+
+    def test_run_audit_with_attack(self, dataset, runs):
+        facade = runs["generalized"].audit(attacks=("naive_bayes",))
+        direct = _audit_publications(
+            dataset.table,
+            {"run": runs["generalized"].published},
+            attacks=("naive_bayes",),
+        )["run"]
+        assert facade.privacy == direct.privacy
+        assert facade.naive_bayes.accuracy == direct.naive_bayes.accuracy
+
+    def test_certify_all_kinds(self, dataset, runs, publications):
+        for kind in KINDS:
+            requirement = REQUIREMENTS[kind]
+            if kind == "baseline":
+                facade = certify_publication(
+                    publications[kind], requirement, cache=dataset.cache
+                )
+            else:
+                facade = runs[kind].certify(requirement)
+            direct = certify_publication(publications[kind], requirement)
+            assert facade == direct, kind
+
+    def test_publish_all_kinds_roundtrip(
+        self, dataset, runs, publications, workload, tmp_path
+    ):
+        facade_store = PublicationStore(tmp_path / "facade")
+        direct_store = PublicationStore(tmp_path / "direct")
+        for kind in KINDS:
+            requirement = REQUIREMENTS[kind]
+            if kind == "baseline":
+                record = facade_store.put(
+                    publications[kind],
+                    requirement=requirement,
+                    cache=dataset.cache,
+                )
+            else:
+                record = runs[kind].publish(
+                    facade_store, requirement=requirement
+                )
+            direct = direct_store.put(
+                publications[kind], requirement=requirement
+            )
+            assert record.pub_id == direct.pub_id, kind
+            assert record.audit == direct.audit, kind
+            # The reloaded publication answers identically through the
+            # facade (content-keyed: no identity with dataset.table).
+            reloaded = facade_store.get(record.pub_id)
+            facade_profile = dataset.evaluate(
+                {"reloaded": reloaded}, workload
+            )["reloaded"]
+            direct_profile = _evaluate_workload(
+                dataset.table, {"p": publications[kind]}, workload,
+                cache=False,
+            )["p"]
+            assert facade_profile == direct_profile, kind
+
+    def test_publish_records_run_provenance(self, dataset, runs, tmp_path):
+        store = PublicationStore(tmp_path / "prov")
+        record = runs["anatomy"].publish(store, requirement={"l": 4})
+        assert record.algorithm == "anatomy"
+        assert record.seed == 1
+        assert record.params["l"] == 4
+
+    def test_certification_gate_still_refuses(self, dataset, runs):
+        with pytest.raises(CertificationError):
+            runs["generalized"].certify({"beta": 0.01})
+
+    def test_precise_matches_direct(self, dataset, workload):
+        from repro.query.evaluate import answer_precise_batch
+
+        facade = dataset.precise(workload)
+        direct = answer_precise_batch(dataset.table, workload, cache=False)
+        assert np.array_equal(facade, direct)
+
+
+# ----------------------------------------------------------------------
+# Cache semantics
+# ----------------------------------------------------------------------
+
+
+class TestCacheSemantics:
+    def test_artifacts_hit_on_reuse(self):
+        ds = Dataset.from_census(800, seed=3, qi_names=("Age", "Gender"))
+        w = ds.workload(40, 1, 0.2)
+        before = ds.cache.stats()["hits"]
+        ds.precise(w)
+        ds.precise(w)
+        assert ds.cache.stats()["hits"] > before
+        assert ("precise", ds.content_key, tuple(w)) in ds.cache
+
+    def test_equal_content_tables_share_artifacts(self):
+        cache = ArtifactCache()
+        a = Dataset.from_census(600, seed=5, qi_names=("Age",), cache=cache)
+        b = Dataset.from_census(600, seed=5, qi_names=("Age",), cache=cache)
+        assert a.table is not b.table
+        assert a.content_key == b.content_key
+        assert a.mask_engine() is b.mask_engine()
+        assert a.hilbert_keys() is b.hilbert_keys()
+
+    def test_store_reload_shares_view(self, dataset, runs, tmp_path):
+        store = PublicationStore(tmp_path / "view-share")
+        record = runs["generalized"].publish(
+            store, requirement={"beta": 2.0}
+        )
+        reloaded = store.get(record.pub_id)
+        assert reloaded is not runs["generalized"].published
+        assert dataset.view(reloaded) is runs["generalized"].view()
+
+    def test_invalidate_by_kind(self):
+        ds = Dataset.from_census(600, seed=4, qi_names=("Age",))
+        w = ds.workload(20, 1, 0.2)
+        ds.precise(w)
+        assert ds.invalidate("precise") == 1
+        assert ("precise", ds.content_key, tuple(w)) not in ds.cache
+        # Rebuilt on next use, other kinds untouched.
+        assert ds.cache.stats()["kinds"].get("mask_engine") is not None
+        ds.precise(w)
+        assert ("precise", ds.content_key, tuple(w)) in ds.cache
+
+    def test_invalidate_by_publication(self, dataset, publications):
+        view_key = (
+            "view",
+            dataset.cache.publication_key(publications["generalized"]),
+        )
+        dataset.view(publications["generalized"])
+        assert view_key in dataset.cache
+        removed = dataset.cache.invalidate(
+            publication=publications["generalized"]
+        )
+        assert removed >= 1
+        assert view_key not in dataset.cache
+
+    def test_size_accounting_and_eviction(self):
+        cache = ArtifactCache(max_bytes=4_000)
+        for i in range(10):
+            cache.put(("view", f"digest{i}"), np.zeros(128))  # 1 KB each
+        stats = cache.stats()
+        assert stats["evictions"] > 0
+        assert stats["nbytes"] <= 4_000
+        # The most recent entry always survives.
+        assert ("view", "digest9") in cache
+
+    def test_oversized_entry_survives_alone(self):
+        cache = ArtifactCache(max_bytes=100)
+        cache.put(("precise", "d", "w"), np.zeros(1_000))
+        assert ("precise", "d", "w") in cache
+        assert len(cache) == 1
+
+    def test_service_eviction_keeps_shared_mask_engine(self, tmp_path):
+        from repro.service import QueryService
+
+        ds = Dataset.from_census(800, seed=6, qi_names=("Age", "Gender"))
+        store = PublicationStore(tmp_path / "evict", cache=ds.cache)
+        # Anatomy answering needs the shared per-table mask engine;
+        # serving it first materializes the engine in the cache.
+        first = ds.anonymize("anatomy", rng=0, l=2).publish(
+            store, requirement={"l": 2}
+        )
+        second = ds.anonymize("burel", beta=2.0).publish(
+            store, requirement={"beta": 2.0}
+        )
+        w = ds.workload(10, 1, 0.2)
+        with QueryService(
+            store, cache_size=1, artifact_cache=ds.cache
+        ) as service:
+            service.answer(first.pub_id, w)
+            engine_key = ("mask_engine", ds.content_key)
+            assert engine_key in ds.cache
+            # Loading the second publication evicts the first; the mask
+            # engine is shared by every publication over this table, so
+            # it must survive while one of them is still cached.
+            service.answer(second.pub_id, w)
+            assert engine_key in ds.cache
+
+    def test_rejects_non_table(self):
+        with pytest.raises(TypeError, match="wraps a repro Table"):
+            Dataset("not a table")
+
+    def test_table_digest_is_content_based(self):
+        from repro.dataset import make_census
+
+        a = make_census(500, seed=9, qi_names=("Age", "Gender"))
+        b = make_census(500, seed=9, qi_names=("Age", "Gender"))
+        c = make_census(500, seed=10, qi_names=("Age", "Gender"))
+        assert table_digest(a) == table_digest(b)
+        assert table_digest(a) != table_digest(c)
+
+
+# ----------------------------------------------------------------------
+# Sweep semantics
+# ----------------------------------------------------------------------
+
+
+class TestSweep:
+    def test_sweep_preserves_spec_order_and_determinism(self, dataset):
+        specs = [
+            ("burel", {"beta": 4.0}),
+            ("burel", {"beta": 1.0}),
+            ("mondrian", {"kind": "beta", "beta": 2.0}),
+        ]
+        first = dataset.sweep(specs)
+        second = dataset.sweep(specs)
+        assert [r.algorithm for r in first] == ["burel", "burel", "mondrian"]
+        assert first[0].params["beta"] == 4.0
+        assert first[1].params["beta"] == 1.0
+        for a, b in zip(first, second):
+            assert publication_digest(a.published) == publication_digest(
+                b.published
+            )
+
+    def test_sweep_matches_individual_runs(self, dataset):
+        swept = dataset.sweep(
+            [("burel", {"beta": b}) for b in (1.0, 3.0)]
+        )
+        for run, beta in zip(swept, (1.0, 3.0)):
+            single = dataset.anonymize("burel", beta=beta)
+            assert publication_digest(run.published) == publication_digest(
+                single.published
+            )
+
+    def test_sweep_mapping_specs_with_seeds(self, dataset):
+        runs = dataset.sweep(
+            [
+                {"algorithm": "anatomy", "params": {"l": 3}, "seed": 11},
+                {"algorithm": "anatomy", "params": {"l": 3}, "seed": 11},
+                {"algorithm": "anatomy", "params": {"l": 3}, "seed": 12},
+            ]
+        )
+        digests = [publication_digest(r.published) for r in runs]
+        assert digests[0] == digests[1]
+        assert digests[0] != digests[2]
+        assert runs[0].seed == 11
+
+    def test_sweep_rejects_foreign_table_jobs(self, dataset):
+        from repro.engine import EngineJob
+
+        with pytest.raises(ValueError, match="its own table"):
+            dataset.sweep([EngineJob("burel", {"beta": 2.0}, table=1)])
+
+    def test_sweep_rejects_malformed_spec(self, dataset):
+        with pytest.raises(TypeError, match="sweep specs"):
+            dataset.sweep([42])
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims
+# ----------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    @pytest.fixture(autouse=True)
+    def _fresh_warnings(self):
+        deprecation.reset_warned()
+        yield
+        deprecation.reset_warned()
+
+    def test_legacy_entry_points_warn_once_and_agree(self, dataset, workload):
+        from repro import audit_publications, burel
+        from repro.query import evaluate_workload
+
+        table = dataset.table
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = burel(table, 2.0)
+            legacy_eval = evaluate_workload(
+                table, {"p": legacy.published}, workload
+            )["p"]
+            legacy_audit = audit_publications(
+                table, {"p": legacy.published}
+            )["p"]
+            # Second calls must stay silent.
+            burel(table, 2.0)
+            evaluate_workload(table, {"p": legacy.published}, workload)
+            audit_publications(table, {"p": legacy.published})
+        messages = [
+            str(w.message)
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and str(w.message).startswith("repro.")
+        ]
+        assert len(messages) == 3
+        assert all("repro.api" in m for m in messages)
+
+        run = dataset.anonymize("burel", beta=2.0)
+        assert publication_digest(run.published) == publication_digest(
+            legacy.published
+        )
+        assert run.evaluate(workload) == legacy_eval
+        report = run.audit()
+        assert report.privacy == legacy_audit.privacy
+        assert report.risk == legacy_audit.risk

@@ -272,15 +272,19 @@ class TestCliIntegration:
             rows = [(20 + i, "flu" if i % 3 else "cold") for i in range(30)]
             writer.writerows(rows)
 
+        # The CLI dispatches through the repro.api facade, which calls
+        # the engine's run(); spy there to see the forwarded rng.
+        import repro.api.dataset as api_dataset
+
         seen = {}
-        real_run = cli.engine_run
+        real_run = api_dataset.engine_run
 
         def spy(name, table, *, rng=None, **params):
             seen["algorithm"] = name
             seen["rng"] = rng
             return real_run(name, table, rng=rng, **params)
 
-        monkeypatch.setattr(cli, "engine_run", spy)
+        monkeypatch.setattr(api_dataset, "engine_run", spy)
         code = cli.run(
             [
                 "generalize", str(path),
