@@ -39,6 +39,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import platform
 import tempfile
 import time
@@ -218,6 +219,8 @@ def main() -> None:
         "theta": THETA,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
         "byte_identical": True,
         "stages": {
             stage: {

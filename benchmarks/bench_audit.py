@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -197,6 +198,8 @@ def main() -> None:
         },
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
         "section7_table_audit": {
             "scalar_seconds": round(scalar_table_seconds, 6),
             "batch_seconds": round(batch_table_seconds, 6),

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -125,6 +126,8 @@ def main() -> None:
         "beta": BETA,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
         "materialization": [
             bench_materialization(table, rng_seed=None),
             bench_materialization(table, rng_seed=11),

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import tempfile
 import threading
@@ -185,6 +186,8 @@ def main() -> None:
         "workers": args.workers,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
         "service_stats": stats,
         "kinds": {},
         "byte_equal": {},

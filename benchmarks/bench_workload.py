@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -214,6 +215,8 @@ def main() -> None:
         "betas": list(BETAS),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
         "fig8_sweep": {
             "scalar_seconds": round(scalar_seconds, 6),
             "batch_seconds": round(batch_seconds, 6),

@@ -70,6 +70,7 @@ class Dataset:
         self.table = table
         self.cache = cache if cache is not None else ArtifactCache()
         self._prepared: PreparedTable | None = None
+        self._sharded: dict = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -201,6 +202,39 @@ class Dataset:
         return self.cache.invalidate(kind, **selectors)
 
     # ------------------------------------------------------------------
+    # Sharded execution
+    # ------------------------------------------------------------------
+
+    def sharded(
+        self, workers: int = 1, shards: "int | None" = None
+    ):
+        """A :class:`repro.parallel.ShardedSession` over this table.
+
+        Sessions share this facade's artifact cache and are memoized per
+        ``(workers, shards)`` so repeated ``workers=N`` calls reuse one
+        process pool and one shared-memory copy of the row arrays.  Call
+        :meth:`close_parallel` to release them.
+        """
+        from ..parallel import ShardedSession
+
+        key = (workers, shards)
+        session = self._sharded.get(key)
+        if session is None:
+            session = ShardedSession(
+                self.table, workers=workers, shards=shards, cache=self.cache
+            )
+            self._sharded[key] = session
+        return session
+
+    def close_parallel(self) -> int:
+        """Shut down all memoized sharded sessions; returns the count."""
+        count = len(self._sharded)
+        for session in self._sharded.values():
+            session.close()
+        self._sharded.clear()
+        return count
+
+    # ------------------------------------------------------------------
     # The fluent chain
     # ------------------------------------------------------------------
 
@@ -209,6 +243,8 @@ class Dataset:
         algorithm: str,
         *,
         rng: "np.random.Generator | int | None" = None,
+        workers: "int | None" = None,
+        shards: "int | None" = None,
         **params: Any,
     ) -> "AnonymizationRun":
         """Run a registered engine algorithm over this table.
@@ -218,7 +254,25 @@ class Dataset:
         :meth:`sweep` batches — pay for it once.  ``rng`` follows the
         engine's uniform contract: ``None`` deterministic, int seed, or
         a generator.
+
+        With ``workers`` and/or ``shards``, the run executes through the
+        sharded layer (:class:`repro.parallel.ShardedSession`):
+        contiguous Hilbert-key range shards anonymized in a process pool
+        and merged deterministically — at a fixed shard count, results
+        are byte-identical across worker counts (``shards`` defaults to
+        ``workers``; the shard count itself shapes the publication,
+        since groups form within key ranges).  ``rng`` must then be an
+        int seed (or None): per-shard generators are spawned from it.
         """
+        if workers is not None or shards is not None:
+            if rng is not None and not isinstance(rng, int):
+                raise TypeError(
+                    "sharded anonymization takes an int seed (per-shard "
+                    "generators are spawned from it), not a Generator"
+                )
+            return self.sharded(workers or 1, shards).anonymize(
+                algorithm, seed=rng, **params
+            )
         result = engine_run(
             algorithm, self.table, rng=rng, shared=self.prepared(), **params
         )
@@ -227,7 +281,10 @@ class Dataset:
         )
 
     def sweep(
-        self, specs: Sequence["EngineJob | tuple | Mapping[str, Any]"]
+        self,
+        specs: Sequence["EngineJob | tuple | Mapping[str, Any]"],
+        *,
+        workers: "int | None" = None,
     ) -> "list[AnonymizationRun]":
         """Run a declarative multi-algorithm / multi-parameter batch.
 
@@ -238,6 +295,10 @@ class Dataset:
                 mappings, or :class:`~repro.engine.batch.EngineJob`
                 records (their ``table`` index must be 0: a facade wraps
                 exactly one table).
+            workers: With ``workers > 1``, jobs run whole-table in a
+                process pool (job-level parallelism via
+                :meth:`repro.parallel.ShardedSession.sweep`); results
+                are byte-identical to the serial batch.
 
         Returns:
             One :class:`AnonymizationRun` per spec, in spec order
@@ -245,7 +306,10 @@ class Dataset:
             seeded runs consume their own generators).
         """
         jobs = [self._job(spec) for spec in specs]
-        results = run_many(self.table, jobs, cache=self.cache)
+        if workers is not None and workers > 1:
+            results = self.sharded(workers, 1).sweep(jobs)
+        else:
+            results = run_many(self.table, jobs, cache=self.cache)
         return [
             AnonymizationRun(self, result, seed=job.seed)
             for job, result in zip(jobs, results)

@@ -107,6 +107,17 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process count; >1 anonymizes sharded over N Hilbert-key "
+             "ranges (generalize/publish: deterministic, but groups form "
+             "within ranges, so the output depends on N — not on "
+             "scheduling) or answers queries through a process pool "
+             "(query: answers identical to --workers 1)",
+    )
+
+
 def _add_algorithm_args(parser: argparse.ArgumentParser, choices) -> None:
     parser.add_argument(
         "--algorithm", choices=choices, default="burel",
@@ -129,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     generalize = sub.add_parser("generalize")
     _add_io_args(generalize)
     _add_algorithm_args(generalize, GENERALIZERS)
+    _add_workers_arg(generalize)
 
     _add_io_args(sub.add_parser("perturb"))
 
@@ -141,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_args(publish)
     _add_algorithm_args(publish, PUBLISHABLE)
     _add_run_args(publish)
+    _add_workers_arg(publish)
     publish.add_argument(
         "--require-beta", type=float, default=None,
         help="declare a beta contract (default: the algorithm's target)",
@@ -186,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="print service batching statistics",
     )
+    _add_workers_arg(query)
     return parser
 
 
@@ -248,6 +262,22 @@ def _print_stages(result, verbose: bool) -> None:
         for name, seconds in result.stage_seconds.items()
     )
     print(f"stages: {stages}")
+    sharded = result.provenance.get("sharded")
+    if sharded:
+        print(f"sharded over {sharded['n_shards']} Hilbert-key ranges, "
+              f"{sharded['workers']} worker(s)")
+        for rec in sharded["shards"]:
+            per_stage = "  ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in rec["stage_seconds"].items()
+            )
+            print(f"  shard {rec['index']} ({rec['n_rows']} rows, "
+                  f"keys [{rec['key_lo']}, {rec['key_hi']}]): {per_stage}")
+
+
+def _workers(args: argparse.Namespace) -> "int | None":
+    """The facade's ``workers`` argument (None = the unsharded path)."""
+    return args.workers if args.workers and args.workers > 1 else None
 
 
 def _load_dataset(args: argparse.Namespace) -> Dataset:
@@ -266,7 +296,8 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
 def _run_generalize(args: argparse.Namespace) -> int:
     ds = _load_dataset(args)
     result = ds.anonymize(
-        args.algorithm, rng=args.seed, **_algorithm_params(args)
+        args.algorithm, rng=args.seed, workers=_workers(args),
+        **_algorithm_params(args)
     )
     if args.algorithm == "anatomy":
         write_anatomy_csv(result.published, args.output)
@@ -310,11 +341,17 @@ def _run_publish(args: argparse.Namespace) -> int:
     store = PublicationStore(args.store, cache=ds.cache)
     requirement = _requirement(args)
     rng = args.seed
+    workers = _workers(args)
     if args.algorithm == "perturb":
         rng = args.seed if args.seed is not None else 0
+        if workers:
+            print("note: perturb is a whole-table scheme; "
+                  "--workers has no effect")
+            workers = None
     try:
         result = ds.anonymize(
-            args.algorithm, rng=rng, **_algorithm_params(args)
+            args.algorithm, rng=rng, workers=workers,
+            **_algorithm_params(args)
         )
         record = result.publish(store, requirement=requirement)
     except CertificationError as exc:
@@ -336,7 +373,11 @@ def _run_query(args: argparse.Namespace) -> int:
     from .service import PublicationStore, QueryService
 
     store = PublicationStore(args.store)
-    with QueryService(store) as service:
+    workers = _workers(args)
+    service_kwargs = (
+        {"workers": workers, "executor": "process"} if workers else {}
+    )
+    with QueryService(store, **service_kwargs) as service:
         try:
             record = service.load(args.pub_id)
         except KeyError as exc:

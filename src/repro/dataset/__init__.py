@@ -16,6 +16,7 @@ from .census import (
     make_census,
     salary_distribution,
 )
+from .synthetic import synthetic, synthetic_schema, zipf_distribution
 from .patients import (
     DISEASES,
     disease_hierarchy,
@@ -41,6 +42,9 @@ __all__ = [
     "census_schema",
     "make_census",
     "salary_distribution",
+    "synthetic",
+    "synthetic_schema",
+    "zipf_distribution",
     "DISEASES",
     "disease_hierarchy",
     "make_example2_table",

@@ -1,0 +1,125 @@
+"""Scalable synthetic microdata for throughput experiments.
+
+The CENSUS generator (:func:`repro.dataset.census.make_census`) is
+faithful to the paper's Table 3 but fixed in shape: five attributes,
+50 salary classes.  The parallel-execution benchmarks need tables whose
+*scale knobs* — row count, QI dimensionality, SA cardinality, skew —
+can be turned independently, so this module provides a plain
+parameterized generator:
+
+* every QI attribute is numerical with a domain sized so the total
+  QI-space stays Hilbert-encodable and the range-bitmap index budget is
+  exercised realistically at millions of rows;
+* the SA follows a Zipf-like profile with tunable ``skew`` (0 =
+  uniform), materialized through the same largest-remainder rounding
+  as the CENSUS generator so every SA value occurs at least once and
+  the realized counts are exact;
+* each QI dimension is mildly correlated with the SA level (alternating
+  sign per dimension), so equivalence classes and COUNT workloads see
+  realistic dependence rather than pure noise.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .census import exact_sa_counts
+from .schema import Attribute, Schema, SensitiveAttribute
+from .table import Table
+
+#: Default per-dimension domain size; with the default 3 QI dimensions
+#: the summed domains keep a 1M-row range-bitmap index near the budget
+#: boundary, which is exactly the regime the sharding benchmarks probe.
+DEFAULT_QI_DOMAIN = 128
+
+
+def synthetic_schema(
+    qi_dims: int = 3,
+    sa_cardinality: int = 32,
+    qi_domain: int = DEFAULT_QI_DOMAIN,
+) -> Schema:
+    """The generator's schema: ``qi_dims`` numerical QIs plus the SA."""
+    if qi_dims < 1:
+        raise ValueError("need at least one QI dimension")
+    if sa_cardinality < 2:
+        raise ValueError("need at least two SA values")
+    if qi_domain < 2:
+        raise ValueError("QI domains need at least two values")
+    qi = [
+        Attribute.numerical(f"q{j}", 0, qi_domain - 1) for j in range(qi_dims)
+    ]
+    sensitive = SensitiveAttribute(
+        "sa", tuple(f"sa-{i:03d}" for i in range(sa_cardinality))
+    )
+    return Schema(qi, sensitive)
+
+
+def zipf_distribution(m: int, skew: float) -> np.ndarray:
+    """A normalized Zipf-like profile ``p_i ∝ (i + 1)^-skew`` over codes.
+
+    ``skew=0`` is uniform; larger values concentrate mass on the low
+    codes.  The profile is laid out directly on SA codes (not shuffled):
+    low codes frequent, high codes rare — convenient for eyeballing and
+    deterministic by construction.
+    """
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    weights = (np.arange(m, dtype=float) + 1.0) ** (-skew)
+    return weights / weights.sum()
+
+
+def synthetic(
+    rows: int,
+    qi_dims: int = 3,
+    sa_cardinality: int = 32,
+    skew: float = 1.0,
+    seed: int = 0,
+    *,
+    qi_domain: int = DEFAULT_QI_DOMAIN,
+    correlation: float = 0.3,
+) -> Table:
+    """Generate a synthetic microdata table at an arbitrary scale.
+
+    Args:
+        rows: Number of tuples (the parallel benchmarks use 1M).
+        qi_dims: Number of numerical QI attributes.
+        sa_cardinality: SA domain size ``m``.
+        skew: Zipf exponent of the SA profile (0 = uniform).
+        seed: PRNG seed; identical parameters give identical tables.
+        qi_domain: Values per QI attribute (``[0, qi_domain - 1]``).
+        correlation: Strength in ``[0, 1]`` of the QI↔SA dependence.
+
+    Returns:
+        A :class:`~repro.dataset.table.Table` whose realized SA counts
+        match the Zipf profile exactly (largest-remainder rounding, every
+        value covered).
+    """
+    if rows < sa_cardinality:
+        raise ValueError(
+            f"need at least {sa_cardinality} rows to cover the SA domain"
+        )
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError("correlation must be in [0, 1]")
+    schema = synthetic_schema(qi_dims, sa_cardinality, qi_domain)
+    rng = np.random.default_rng(seed)
+
+    probs = zipf_distribution(sa_cardinality, skew)
+    counts = exact_sa_counts(rows, probs)
+    sa = np.repeat(np.arange(sa_cardinality, dtype=np.int64), counts)
+    rng.shuffle(sa)
+
+    level = sa / (sa_cardinality - 1)  # normalized SA level in [0, 1]
+    qi = np.empty((rows, qi_dims), dtype=np.int64)
+    half_span = (qi_domain - 1) / 2.0
+    for j in range(qi_dims):
+        # Alternate the correlation sign per dimension so no single
+        # direction of QI-space is monotone in the SA.
+        sign = 1.0 if j % 2 == 0 else -1.0
+        center = half_span + sign * correlation * half_span * (level - 0.5)
+        spread = (1.0 - 0.5 * correlation) * qi_domain / 4.0
+        qi[:, j] = np.clip(
+            np.rint(rng.normal(center, spread)), 0, qi_domain - 1
+        ).astype(np.int64)
+    return Table(schema, qi, sa)

@@ -41,6 +41,20 @@ class PreparedTable:
         self._sa_distribution: np.ndarray | None = None
         self._row_buckets: dict[tuple, np.ndarray] = {}
 
+    def __getstate__(self) -> dict:
+        # A PreparedTable must cross process boundaries (the parallel
+        # layer ships per-shard preprocessing to pool workers), but an
+        # ArtifactCache holds thread locks and is deliberately
+        # per-process.  Drop the cache reference and carry the memoized
+        # arrays themselves; the receiving process re-binds a cache of
+        # its own if it wants digest-keyed sharing.
+        state = dict(self.__dict__)
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     def hilbert_keys(self) -> np.ndarray:
         """QI-space Hilbert keys, computed on first use."""
         if self._cache is not None:

@@ -1,0 +1,51 @@
+"""Multi-process sharded execution over Hilbert-key range partitions.
+
+The tentpole of this layer is :class:`ShardedSession`: partition a
+table into contiguous Hilbert-key ranges (:class:`ShardPlan`), run
+anonymization / audit metrics / workload evaluation per shard in a
+process pool (or inline with ``workers=1`` — the same code path minus
+the pool), and merge the results deterministically so, at a fixed
+shard count, sharded outputs are byte-identical across worker counts
+(the shard count itself shapes a publication: groups form within key
+ranges).
+
+Entry points:
+
+* :class:`ShardedSession` / :class:`ShardedRun` — the session object and
+  its merged-run handle (``anonymize`` → ``audit`` / ``evaluate`` /
+  ``publish``).
+* :func:`sweep_jobs` — job-level parallelism for parameter sweeps (one
+  whole-table engine run per process).
+* :class:`ProcessEvaluator` — the process-pool answering backend of
+  :class:`repro.service.QueryService`'s ``executor="process"`` mode.
+* :class:`ShardPlan` / :class:`Shard` — the pure partition planner.
+* :class:`~repro.parallel.shm.ShmArrays` and friends — the
+  shared-memory row-array transport.
+
+The facade exposes the common paths directly:
+``Dataset.anonymize(..., workers=N)``, ``Dataset.sweep(specs,
+workers=N)`` and ``QueryService(..., executor="process")``.
+"""
+
+from .executor import (
+    ProcessEvaluator,
+    ShardedRun,
+    ShardedSession,
+    sweep_jobs,
+)
+from .plan import Shard, ShardPlan
+from .shm import ArrayHandle, ShmArrays, TableHandle, load_array, load_table
+
+__all__ = [
+    "ArrayHandle",
+    "ProcessEvaluator",
+    "Shard",
+    "ShardPlan",
+    "ShardedRun",
+    "ShardedSession",
+    "ShmArrays",
+    "TableHandle",
+    "load_array",
+    "load_table",
+    "sweep_jobs",
+]

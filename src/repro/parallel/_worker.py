@@ -1,0 +1,419 @@
+"""Process-side task functions of the parallel layer.
+
+Everything here is a **top-level picklable function** taking plain
+picklable arguments — the contract a ``ProcessPoolExecutor`` imposes.
+The same functions also run inline for the ``workers=1`` serial
+fallback (the executor passes the in-process shard table instead of a
+shared-memory handle), which is what makes serial and pooled execution
+byte-identical: one code path, two transports.
+
+Per-process caches mirror the parent's content-digest discipline: shard
+tables are memoized by ``(table digest, shard index)``, serving
+artifacts live in a process-local :class:`repro.api.ArtifactCache`
+keyed by the very same digests the parent uses, and rebuilt
+publications are memoized by their content digest.  A worker therefore
+pays each reconstruction once per process, no matter how tasks are
+scheduled.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..anonymity.anatomy import AnatomyGroup, AnatomyTable
+from ..audit.metrics import (
+    per_class_distinct,
+    per_class_emd,
+    per_class_gains,
+    per_class_log_ratios,
+)
+from ..audit.view import PublicationView
+from ..dataset.published import EquivalenceClass, GeneralizedTable
+from ..dataset.table import Table
+from ..engine.batch import PreparedTable
+from ..engine.registry import run as engine_run
+from ..io import publication_from_payload
+from ..query.evaluate import answer_precise_batch, batch_estimates
+from ..query.workload import EncodedWorkload
+from .shm import ArrayHandle, TableHandle, load_array, load_table
+
+# ----------------------------------------------------------------------
+# Per-process state
+# ----------------------------------------------------------------------
+
+#: (table digest, shard index | None) -> (Table, keys | None)
+_SHARDS: dict = {}
+
+#: content digest -> (publication, answerer) for the serving path
+_PUBS: dict = {}
+
+#: lazily created process-local ArtifactCache (indexes, answerers, ...)
+_CACHE = None
+
+
+def _artifact_cache():
+    global _CACHE
+    if _CACHE is None:
+        from ..api.cache import ArtifactCache
+
+        _CACHE = ArtifactCache()
+    return _CACHE
+
+
+def reset_worker_state() -> None:
+    """Drop all per-process memos (tests use this to measure cold paths)."""
+    global _CACHE
+    _SHARDS.clear()
+    _PUBS.clear()
+    _CACHE = None
+
+
+def _resolve_shard(source, rows, shard_index):
+    """``(table, keys)`` of one shard, from either transport.
+
+    ``source`` is a :class:`TableHandle` in pooled mode (attach shared
+    memory, copy the shard's rows out, memoize per process) or an
+    in-process ``(table, keys)`` pair in serial mode (already subset by
+    the executor).
+    """
+    if isinstance(source, TableHandle):
+        token = (source.digest, shard_index)
+        hit = _SHARDS.get(token)
+        if hit is None:
+            if isinstance(rows, ArrayHandle):
+                rows = load_array(rows)
+            hit = load_table(source, rows)
+            _SHARDS[token] = hit
+        return hit
+    table, keys = source
+    return table, keys
+
+
+def _prepared(table: Table, keys, probs) -> PreparedTable:
+    """Shard preprocessing with the *global* SA distribution pre-seeded.
+
+    β-likeness (and every other model here) is declared against the
+    overall distribution ``P`` of the full table; a shard that
+    bucketized against its own local frequencies would certify against
+    the wrong adversary.  The parent therefore computes ``P`` once and
+    every shard prepares with it, so per-shard bucket partitions are
+    identical and the merged publication is measured — and bounded —
+    against the same ``P`` the single-process run uses.
+    """
+    prepared = PreparedTable(table)
+    prepared._keys = keys
+    prepared._sa_distribution = probs
+    return prepared
+
+
+# ----------------------------------------------------------------------
+# Anonymization
+# ----------------------------------------------------------------------
+
+
+def shard_anonymize(
+    source,
+    rows,
+    shard_index: int,
+    algorithm: str,
+    params: dict,
+    seed_seq,
+    probs,
+) -> dict:
+    """Run one shard's pipeline; return the publication in compact form.
+
+    The result ships row *indices local to the shard* plus the per-EC
+    boxes and SA histograms — never the shard table itself — so the
+    transfer back to the parent is a few percent of the table size.
+    """
+    table, keys = _resolve_shard(source, rows, shard_index)
+    rng = np.random.default_rng(seed_seq) if seed_seq is not None else None
+    start = time.perf_counter()
+    result = engine_run(
+        algorithm,
+        table,
+        rng=rng,
+        shared=_prepared(table, keys, probs),
+        **params,
+    )
+    published = result.published
+    out = {
+        "shard": shard_index,
+        "stage_seconds": result.stage_seconds,
+        "elapsed_seconds": time.perf_counter() - start,
+        "params": result.params,
+    }
+    if isinstance(published, GeneralizedTable):
+        out["kind"] = "generalized"
+        out["group_rows"] = [ec.rows for ec in published.classes]
+        out["boxes"] = [ec.box for ec in published.classes]
+        out["sa_counts"] = np.stack(
+            [ec.sa_counts for ec in published.classes]
+        )
+    elif isinstance(published, AnatomyTable):
+        out["kind"] = "anatomy"
+        out["group_rows"] = [g.rows for g in published.groups]
+        out["boxes"] = None
+        out["sa_counts"] = np.stack(
+            [g.sa_counts for g in published.groups]
+        )
+        out["l"] = published.l
+    else:
+        raise TypeError(
+            f"algorithm {algorithm!r} publishes "
+            f"{type(published).__name__}, which has no per-shard group "
+            "structure to merge; run it unsharded (workers apply only "
+            "to group-based formats)"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Audit
+# ----------------------------------------------------------------------
+
+
+def shard_audit(
+    source,
+    rows,
+    shard_index: int,
+    group_rows,
+    probs,
+    ordered_emd: bool,
+) -> dict:
+    """One shard's audit arrays: membership, histograms, per-class vectors.
+
+    The per-class kernels in :mod:`repro.audit.metrics` are row-wise
+    over the ``(G, m)`` distribution matrix, so vectors computed here —
+    against the **global** ``P`` — equal the corresponding rows of the
+    merged publication's vectors bit for bit; the parent concatenates
+    them in shard order and applies the same final reductions.
+    """
+    table, _ = _resolve_shard(source, rows, shard_index)
+    n, m = table.n_rows, table.sa_cardinality
+    class_of = np.full(n, -1, dtype=np.int64)
+    for g, members in enumerate(group_rows):
+        class_of[members] = g
+    if np.any(class_of < 0):
+        raise ValueError("shard groups do not partition the shard rows")
+    n_groups = len(group_rows)
+    counts = np.bincount(
+        class_of * m + table.sa, minlength=n_groups * m
+    ).reshape(n_groups, m)
+    view = synthesize_view(table, class_of, counts, global_distribution=probs)
+    return {
+        "shard": shard_index,
+        "class_of": class_of,
+        "counts": counts,
+        "gains": per_class_gains(view),
+        "emd": per_class_emd(view, ordered_emd),
+        "log_ratios": per_class_log_ratios(view),
+        "distinct": per_class_distinct(view),
+    }
+
+
+def synthesize_view(
+    source,
+    class_of: np.ndarray,
+    counts: np.ndarray,
+    *,
+    boxes=None,
+    global_distribution=None,
+    memo: dict | None = None,
+) -> PublicationView:
+    """Build a :class:`PublicationView` from already-known arrays.
+
+    ``PublicationView.__init__`` re-derives membership and histograms
+    from a publication object; here both already exist (worker-side
+    from the shard groups, parent-side from the shard merge), so the
+    view is assembled directly.  ``global_distribution`` overrides the
+    lazily computed overall ``P`` — the worker passes the full-table
+    distribution so shard metrics measure against the global adversary.
+    """
+    view = object.__new__(PublicationView)
+    view.source = source
+    view.n_groups = int(counts.shape[0])
+    view.class_of = class_of
+    view.counts = counts
+    view.sizes = counts.sum(axis=1)
+    view.boxes = boxes
+    view.memo = dict(memo) if memo else {}
+    if global_distribution is not None:
+        view.__dict__["global_distribution"] = global_distribution
+    return view
+
+
+# ----------------------------------------------------------------------
+# Workload evaluation
+# ----------------------------------------------------------------------
+
+
+def _rebuild_publication(table: Table, pieces: dict):
+    """The shard publication object back from its compact form."""
+    if pieces["kind"] == "generalized":
+        classes = [
+            EquivalenceClass(
+                rows=rows, box=box, sa_counts=pieces["sa_counts"][g]
+            )
+            for g, (rows, box) in enumerate(
+                zip(pieces["group_rows"], pieces["boxes"])
+            )
+        ]
+        return GeneralizedTable(table, classes)
+    if pieces["kind"] == "anatomy":
+        return AnatomyTable(
+            source=table,
+            groups=tuple(
+                AnatomyGroup(rows=rows, sa_counts=pieces["sa_counts"][g])
+                for g, rows in enumerate(pieces["group_rows"])
+            ),
+            l=pieces["l"],
+        )
+    raise ValueError(f"unknown shard publication kind {pieces['kind']!r}")
+
+
+def shard_evaluate(
+    source,
+    rows,
+    shard_index: int,
+    pieces: dict | None,
+    enc: EncodedWorkload,
+) -> dict:
+    """Precise COUNTs (and estimates, if a publication is given) of one
+    shard.
+
+    Ranges partition by rows, so per-query precise counts and estimator
+    sums are additive across shards; the parent folds them in shard
+    order.  Masks, indexes and answerers come from the process-local
+    artifact cache, keyed by the shard table's content digest.
+    """
+    table, _ = _resolve_shard(source, rows, shard_index)
+    cache = _artifact_cache()
+    out = {
+        "shard": shard_index,
+        "precise": answer_precise_batch(table, enc, artifacts=cache),
+    }
+    if pieces is not None:
+        publication = _rebuild_publication(table, pieces)
+        out["estimates"] = batch_estimates(
+            table, {"shard": publication}, enc, artifacts=cache
+        )["shard"]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Job-level parallelism (sweeps)
+# ----------------------------------------------------------------------
+
+
+class _DetachedSource:
+    """Placeholder for a stripped publication source (digest only)."""
+
+    def __init__(self, digest: str):
+        self.digest = digest
+
+
+def _strip_source(published):
+    """Replace the embedded source table with a digest marker, in place.
+
+    Worker-side tables are shared-memory reconstructions; pickling them
+    back inside every publication would copy the whole table per job.
+    The parent re-attaches its own (content-identical) table object.
+    """
+    from ..io import table_digest
+
+    marker = _DetachedSource(table_digest(published.source))
+    if isinstance(published, GeneralizedTable):
+        published.source = marker
+    else:  # dataclass formats: Anatomy / Perturbed / Baseline
+        published.source = marker
+    return published
+
+
+def reattach_source(published, table: Table):
+    """Undo :func:`_strip_source` with the parent's table object."""
+    from ..io import table_digest
+
+    marker = published.source
+    if isinstance(marker, _DetachedSource) and marker.digest != table_digest(
+        table
+    ):
+        raise ValueError(
+            "publication was produced over a different table content"
+        )
+    published.source = table
+    return published
+
+
+def job_run(source, algorithm: str, params: dict, seed) -> "object":
+    """Run one whole-table engine job in this process (sweep mode).
+
+    Returns the full :class:`~repro.engine.pipeline.RunResult` with the
+    publication's source stripped to a digest marker.
+    """
+    token = (source.digest, None) if isinstance(source, TableHandle) else None
+    if token is not None:
+        hit = _SHARDS.get(token)
+        if hit is None:
+            hit = load_table(source, None)
+            _SHARDS[token] = hit
+        table, keys = hit
+    else:
+        table, keys = source
+    prepared = PreparedTable(table)
+    prepared._keys = keys
+    result = engine_run(
+        algorithm, table, rng=seed, shared=prepared, **params
+    )
+    _strip_source(result.published)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Serving (process-pool estimates for QueryService)
+# ----------------------------------------------------------------------
+
+
+def load_publication_payload(digest: str, meta: dict, array_handles: dict):
+    """Materialize a served publication in this process (idempotent)."""
+    if digest in _PUBS:
+        return True
+    arrays = {
+        name: load_array(handle) for name, handle in array_handles.items()
+    }
+    publication = publication_from_payload(meta, arrays)
+    publication._content_digest = digest
+    from ..query.evaluate import make_answerer
+
+    _PUBS[digest] = (publication, make_answerer(publication))
+    return True
+
+
+def serve_estimates(
+    digest: str,
+    enc: EncodedWorkload,
+    meta: dict | None = None,
+    array_handles: dict | None = None,
+) -> np.ndarray:
+    """Batched estimates for a served publication, by content digest.
+
+    The first task naming a digest carries the payload handles; any
+    worker that has not yet materialized the publication does so on
+    demand, so results are independent of task→worker scheduling.
+    """
+    if digest not in _PUBS:
+        if meta is None or array_handles is None:
+            raise KeyError(
+                f"publication {digest[:12]} not materialized in this "
+                "worker and no payload was provided"
+            )
+        load_publication_payload(digest, meta, array_handles)
+    publication, answerer = _PUBS[digest]
+    return batch_estimates(
+        publication.source,
+        {"served": answerer},
+        enc,
+        artifacts=_artifact_cache(),
+    )["served"]

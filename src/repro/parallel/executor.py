@@ -1,0 +1,640 @@
+"""The sharded execution session: plan, fan out, merge deterministically.
+
+:class:`ShardedSession` partitions a table into contiguous Hilbert-key
+ranges (:class:`~repro.parallel.plan.ShardPlan`), runs anonymization,
+audit metrics and workload evaluation per shard — in a
+``ProcessPoolExecutor`` when ``workers > 1``, inline when ``workers ==
+1`` — and merges the shard results into whole-table outputs.
+
+The merge is **scheduling-independent**: results are collected per
+shard index and folded in ascending shard order, per-shard randomness
+comes from :func:`repro.rng.spawn_seeds` (a pure function of the root
+seed and the shard index), and the plan itself is a pure function of
+the Hilbert keys.  At the same shard count, ``workers=1`` and
+``workers=N`` therefore produce byte-identical publications, audit
+reports and estimate arrays —
+``tests/test_parallel.py`` asserts it and ``benchmarks/bench_parallel.py``
+enforces it.
+
+Semantics note: every shard prepares against the **global** SA
+distribution ``P``, so the merged publication is measured (and its
+β-likeness bounded) against the same adversary the single-table run
+uses — see :func:`repro.parallel._worker._prepared`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..audit.evaluate import AuditReport, _audit_publications
+from ..audit.view import PublicationView
+from ..anonymity.anatomy import AnatomyGroup, AnatomyTable
+from ..dataset.published import EquivalenceClass, GeneralizedTable
+from ..dataset.table import Table
+from ..engine.batch import EngineJob, PreparedTable
+from ..engine.pipeline import STAGES, RunResult
+from ..metrics.errors import ErrorProfile, error_profile
+from ..query.workload import CountQuery, EncodedWorkload
+from ..rng import spawn_seeds
+from . import _worker
+from .plan import ShardPlan
+from .shm import ShmArrays
+
+
+def _merge_stage_seconds(pieces: "list[dict]") -> dict:
+    """Per-stage totals across shards, in canonical stage order."""
+    merged: dict[str, float] = {}
+    for name in STAGES:
+        total = [p["stage_seconds"][name] for p in pieces
+                 if name in p["stage_seconds"]]
+        if total:
+            merged[name] = float(sum(total))
+    return merged
+
+
+class ShardedRun:
+    """One merged sharded anonymization: the whole-table publication plus
+    the per-shard group structure later stages (audit, evaluate) reuse.
+
+    Mirrors the result surface of
+    :class:`~repro.api.dataset.AnonymizationRun` (``published``,
+    ``audit()``, ``evaluate()``, ``publish()``), so facade callers can
+    treat sharded and single-process runs uniformly.
+    """
+
+    def __init__(self, session: "ShardedSession", result: RunResult,
+                 shard_groups: "list[list[np.ndarray]]",
+                 seed: "int | None" = None):
+        self.session = session
+        self.result = result
+        self.seed = seed
+        #: Per shard, the group member rows *local to the shard* — the
+        #: exact arrays the shard's pipeline produced, reused verbatim by
+        #: sharded audit and evaluation so no stage re-derives membership.
+        self._shard_groups = shard_groups
+        self._view: PublicationView | None = None
+
+    # -- result passthroughs (AnonymizationRun-compatible) -------------
+
+    @property
+    def published(self):
+        return self.result.published
+
+    @property
+    def algorithm(self) -> str:
+        return self.result.algorithm
+
+    @property
+    def params(self) -> dict:
+        return self.result.params
+
+    @property
+    def provenance(self) -> dict:
+        return self.result.provenance
+
+    @property
+    def stage_seconds(self) -> dict:
+        return self.result.stage_seconds
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.result.elapsed_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedRun({self.algorithm!r}, "
+            f"{self.session.plan.n_shards} shards, "
+            f"{type(self.published).__name__})"
+        )
+
+    # -- the chain ------------------------------------------------------
+
+    def view(self) -> PublicationView:
+        """The merged audit view (built shard-parallel on first use)."""
+        if self._view is None:
+            self._view = self.session._merged_view(self)
+        return self._view
+
+    def audit(self, **kwargs) -> AuditReport:
+        """Audit the merged publication (shard-parallel metrics)."""
+        return self.session.audit(self, **kwargs)
+
+    def evaluate(self, queries) -> ErrorProfile:
+        """COUNT-workload error of the merged publication."""
+        return self.session.evaluate(self, queries)
+
+    def certify(self, requirement, *, ordered_emd: bool = False) -> dict:
+        """Check the merged publication against a privacy contract."""
+        from ..service.store import certify_publication
+
+        self.view()  # seeds the session cache with the merged view
+        return certify_publication(
+            self.published, requirement, ordered_emd=ordered_emd,
+            cache=self.session.cache,
+        )
+
+    def publish(self, store, *, requirement, ordered_emd: bool = False):
+        """Certify and admit the merged publication to a store."""
+        self.view()  # certification reuses the shard-merged audit view
+        return store.put(
+            self.published,
+            requirement=requirement,
+            algorithm=self.algorithm,
+            params=self.params,
+            seed=self.seed,
+            ordered_emd=ordered_emd,
+            cache=self.session.cache,
+        )
+
+
+class ShardedSession:
+    """Sharded execution over one table: anonymize, audit, evaluate.
+
+    Args:
+        table: The source microdata.
+        workers: Process count; ``1`` (the default) runs every shard
+            inline, through the same task functions — the serial
+            fallback is the pooled path minus the pool.
+        shards: Partition size; defaults to ``workers`` (so ``workers=1``
+            is the unsharded degenerate case).  May exceed ``workers``.
+        cache: Optional :class:`repro.api.ArtifactCache` shared with a
+            facade; a private one is created by default.
+
+    Use as a context manager (or call :meth:`close`) when ``workers >
+    1``: the pool and the shared-memory segments are released there.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        workers: int = 1,
+        shards: "int | None" = None,
+        cache=None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if cache is None:
+            from ..api.cache import ArtifactCache
+
+            cache = ArtifactCache()
+        self.table = table
+        self.workers = workers
+        self.cache = cache
+        prepared = PreparedTable(table, cache=cache)
+        self._keys = prepared.hilbert_keys()
+        self._probs = prepared.sa_distribution()
+        self.plan = ShardPlan.build(
+            self._keys, shards if shards is not None else workers
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._shm: ShmArrays | None = None
+        self._handle = None
+        self._row_handles = None
+        self._local = None  # serial-mode (subtable, keys) per shard
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _serial_shard(self, i: int):
+        if self._local is None:
+            self._local = [None] * self.plan.n_shards
+        if self._local[i] is None:
+            shard = self.plan.shards[i]
+            self._local[i] = (
+                self.table.subset(shard.rows), self._keys[shard.rows]
+            )
+        return self._local[i]
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("the sharded session is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        if self._shm is None:
+            self._shm = ShmArrays()
+            self._handle = self._shm.share_table(self.table, self._keys)
+            self._row_handles = [
+                self._shm.share(shard.rows) for shard in self.plan
+            ]
+        return self._pool
+
+    def _shard_args(self, i: int):
+        """``(source, rows)`` of shard ``i`` for the active transport."""
+        if self.workers == 1:
+            return self._serial_shard(i), None
+        return self._handle, self._row_handles[i]
+
+    def _map(self, fn, per_shard_extra: "list[tuple]") -> "list[dict]":
+        """Run ``fn(source, rows, i, *extra_i)`` per shard, in order."""
+        if self.workers == 1:
+            return [
+                fn(*self._shard_args(i), i, *extra)
+                for i, extra in enumerate(per_shard_extra)
+            ]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(fn, *self._shard_args(i), i, *extra)
+            for i, extra in enumerate(per_shard_extra)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Anonymization
+    # ------------------------------------------------------------------
+
+    def anonymize(
+        self, algorithm: str, *, seed: "int | None" = None, **params
+    ) -> ShardedRun:
+        """Anonymize every shard and merge into a whole-table publication.
+
+        ``seed`` follows the per-shard rng contract: shard ``i`` draws
+        from child ``i`` of ``SeedSequence(seed)``, so results are
+        independent of worker scheduling.  Only group-based output
+        formats (generalization schemes, Anatomy) can be sharded;
+        ``perturb`` — a whole-table format — is refused by the workers.
+        """
+        plan = self.plan
+        seeds = (
+            spawn_seeds(seed, plan.n_shards)
+            if seed is not None
+            else [None] * plan.n_shards
+        )
+        start = time.perf_counter()
+        pieces = self._map(
+            _worker.shard_anonymize,
+            [
+                (algorithm, dict(params), seeds[i], self._probs)
+                for i in range(plan.n_shards)
+            ],
+        )
+        published = self._merge_publication(pieces)
+        provenance = {
+            "sharded": {
+                "n_shards": plan.n_shards,
+                "workers": self.workers,
+                "shards": [
+                    {
+                        "index": shard.index,
+                        "n_rows": shard.n_rows,
+                        "key_lo": shard.key_lo,
+                        "key_hi": shard.key_hi,
+                        "stage_seconds": piece["stage_seconds"],
+                        "elapsed_seconds": piece["elapsed_seconds"],
+                    }
+                    for shard, piece in zip(plan, pieces)
+                ],
+            }
+        }
+        result = RunResult(
+            algorithm=algorithm,
+            published=published,
+            params=pieces[0]["params"],
+            stage_seconds=_merge_stage_seconds(pieces),
+            provenance=provenance,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return ShardedRun(
+            self, result, [p["group_rows"] for p in pieces], seed=seed
+        )
+
+    def _merge_publication(self, pieces: "list[dict]"):
+        """Concatenate shard publications in ascending key order.
+
+        Shard-local member rows lift to global row ids through the
+        shard's ``rows`` array; group order is shard order (each shard's
+        internal group order preserved), which is also ascending
+        Hilbert-range order — the same locality the single-table
+        materialization sweep produces.
+        """
+        kind = pieces[0]["kind"]
+        if kind == "generalized":
+            classes = []
+            for shard, piece in zip(self.plan, pieces):
+                for g, local in enumerate(piece["group_rows"]):
+                    classes.append(
+                        EquivalenceClass(
+                            rows=shard.rows[local],
+                            box=piece["boxes"][g],
+                            sa_counts=piece["sa_counts"][g],
+                        )
+                    )
+            # The constructor re-validates the exact row partition — the
+            # merge's cheapest full correctness check.
+            return GeneralizedTable(self.table, classes)
+        groups = []
+        for shard, piece in zip(self.plan, pieces):
+            for g, local in enumerate(piece["group_rows"]):
+                groups.append(
+                    AnatomyGroup(
+                        rows=shard.rows[local],
+                        sa_counts=piece["sa_counts"][g],
+                    )
+                )
+        return AnatomyTable(
+            source=self.table, groups=tuple(groups), l=pieces[0]["l"]
+        )
+
+    # ------------------------------------------------------------------
+    # Audit
+    # ------------------------------------------------------------------
+
+    def _merged_view(
+        self, run: ShardedRun, ordered_emd: bool = False
+    ) -> PublicationView:
+        """The merged publication's audit view, built shard-parallel.
+
+        Workers compute per-shard membership, group×SA histograms and
+        the four per-class metric vectors against the global ``P``; the
+        parent scatters membership into global row order, stacks the
+        histograms and pre-populates the view's metric memo with the
+        concatenated vectors.  Because the metric kernels are row-wise
+        over the ``(G, m)`` distributions, the result is bit-identical
+        to building the view directly from the merged publication.
+        """
+        results = self._map(
+            _worker.shard_audit,
+            [
+                (run._shard_groups[i], self._probs, ordered_emd)
+                for i in range(self.plan.n_shards)
+            ],
+        )
+        n = self.table.n_rows
+        class_of = np.full(n, -1, dtype=np.int64)
+        offset = 0
+        for shard, res in zip(self.plan, results):
+            class_of[shard.rows] = res["class_of"] + offset
+            offset += res["counts"].shape[0]
+        counts = np.vstack([res["counts"] for res in results])
+        memo = {
+            "gains": np.concatenate([r["gains"] for r in results]),
+            ("emd", ordered_emd): np.concatenate(
+                [r["emd"] for r in results]
+            ),
+            "log_ratios": np.concatenate(
+                [r["log_ratios"] for r in results]
+            ),
+            "distinct": np.concatenate([r["distinct"] for r in results]),
+        }
+        view = _worker.synthesize_view(
+            self.table,
+            class_of,
+            counts,
+            boxes=PublicationView._extract_boxes(run.published),
+            global_distribution=self._probs,
+            memo=memo,
+        )
+        # Seed the session cache under the publication's content key, so
+        # every downstream consumer — _audit_publications, the store's
+        # certification gate, facade audits — finds this view instead of
+        # rebuilding one.
+        self.cache.put(
+            ("view", self.cache.publication_key(run.published)), view
+        )
+        return view
+
+    def audit(
+        self,
+        run: ShardedRun,
+        *,
+        attacks=(),
+        ordered_emd: bool = False,
+        **kwargs,
+    ) -> AuditReport:
+        """Audit a sharded run's merged publication.
+
+        Metric vectors come from the shard-parallel merged view; the
+        final reductions (and any requested attacks) run in the parent
+        through the standard audit entry point, so the report is
+        byte-identical to auditing the merged publication directly.
+        """
+        view = run._view
+        if view is None or ("emd", ordered_emd) not in view.memo:
+            run._view = self._merged_view(run, ordered_emd)
+        return _audit_publications(
+            self.table,
+            {"run": run.published},
+            attacks=attacks,
+            ordered_emd=ordered_emd,
+            cache=self.cache,
+            **kwargs,
+        )["run"]
+
+    # ------------------------------------------------------------------
+    # Workload evaluation
+    # ------------------------------------------------------------------
+
+    def _encode(self, queries) -> EncodedWorkload:
+        from ..query.evaluate import _encoded
+
+        return _encoded(self.table, queries, self.cache)
+
+    def precise(self, queries) -> np.ndarray:
+        """Exact COUNT answers, computed shard-parallel.
+
+        Range shards partition the rows, so per-query counts are sums of
+        integer per-shard counts — **exactly** equal to the unsharded
+        answers, not merely close.
+        """
+        enc = self._encode(queries)
+        results = self._map(
+            _worker.shard_evaluate,
+            [(None, enc)] * self.plan.n_shards,
+        )
+        return np.sum([res["precise"] for res in results], axis=0)
+
+    def answers(
+        self, run: ShardedRun, queries
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(precise, estimates)`` of a workload, shard-parallel.
+
+        Each shard answers the workload against its own slice of the
+        publication; per-query estimates and precise counts fold in
+        ascending shard order, so both arrays are worker-count-invariant
+        (and the precise counts equal the unsharded answers exactly).
+        """
+        enc = self._encode(queries)
+        pieces = self._eval_pieces(run)
+        results = self._map(
+            _worker.shard_evaluate,
+            [(pieces[i], enc) for i in range(self.plan.n_shards)],
+        )
+        precise = np.sum([res["precise"] for res in results], axis=0)
+        estimates = np.zeros(enc.n_queries)
+        for res in results:  # ascending shard order — deterministic fold
+            estimates += res["estimates"]
+        return precise, estimates
+
+    def evaluate(self, run: ShardedRun, queries) -> ErrorProfile:
+        """Workload error of a sharded run (see :meth:`answers`)."""
+        return error_profile(*self.answers(run, queries))
+
+    def _eval_pieces(self, run: ShardedRun) -> "list[dict]":
+        """Compact per-shard publication slices for the eval workers."""
+        published = run.published
+        pieces = []
+        offset = 0
+        for i, groups in enumerate(run._shard_groups):
+            n_groups = len(groups)
+            piece = {"group_rows": groups}
+            if isinstance(published, GeneralizedTable):
+                piece["kind"] = "generalized"
+                piece["boxes"] = [
+                    published.classes[offset + g].box
+                    for g in range(n_groups)
+                ]
+                piece["sa_counts"] = np.stack(
+                    [
+                        published.classes[offset + g].sa_counts
+                        for g in range(n_groups)
+                    ]
+                )
+            else:
+                piece["kind"] = "anatomy"
+                piece["l"] = published.l
+                piece["sa_counts"] = np.stack(
+                    [
+                        published.groups[offset + g].sa_counts
+                        for g in range(n_groups)
+                    ]
+                )
+            offset += n_groups
+            pieces.append(piece)
+        return pieces
+
+    # ------------------------------------------------------------------
+    # Job-level parallelism (sweeps)
+    # ------------------------------------------------------------------
+
+    def sweep(self, jobs: "list[EngineJob]") -> "list[RunResult]":
+        """Run whole-table engine jobs across the pool, one per process.
+
+        The orthogonal axis to sharding: a parameter sweep has natural
+        job-level parallelism, so each job runs unsharded in a worker
+        (publications cross back with their source stripped to a digest
+        and re-attached to this session's table).  Results are in job
+        order, byte-identical to a serial :func:`repro.engine.batch.
+        run_many` of the same jobs.
+        """
+        if self.workers == 1:
+            source = (self.table, self._keys)
+            results = [
+                _worker.job_run(
+                    source, job.algorithm, dict(job.params), job.seed
+                )
+                for job in jobs
+            ]
+        else:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    _worker.job_run,
+                    self._handle,
+                    job.algorithm,
+                    dict(job.params),
+                    job.seed,
+                )
+                for job in jobs
+            ]
+            results = [future.result() for future in futures]
+        for result in results:
+            _worker.reattach_source(result.published, self.table)
+        return results
+
+
+def sweep_jobs(
+    table: Table,
+    jobs: "list[EngineJob | tuple]",
+    *,
+    workers: int = 1,
+    cache=None,
+) -> "list[RunResult]":
+    """One-shot job-parallel sweep (see :meth:`ShardedSession.sweep`)."""
+    normalized = [
+        job if isinstance(job, EngineJob) else EngineJob(*job)
+        for job in jobs
+    ]
+    with ShardedSession(
+        table, workers=workers, shards=1, cache=cache
+    ) as session:
+        return session.sweep(normalized)
+
+
+class ProcessEvaluator:
+    """A process pool answering serving batches for `QueryService`.
+
+    Publications are shipped once per content digest — payload arrays go
+    into shared memory, workers rebuild and memoize the publication and
+    its answerer — and every batch task carries the (tiny) handles, so
+    answers never depend on which worker a task lands on.  Per-query
+    estimates are computed by the same batched kernels the thread path
+    uses, hence bit-identical results.
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._shm = ShmArrays()
+        self._payloads: dict[str, tuple] = {}
+        self._closed = False
+
+    def register(self, publication) -> str:
+        """Share a publication's payload; returns its content digest."""
+        from ..io import publication_digest, publication_payload
+
+        digest = publication_digest(publication)
+        if digest not in self._payloads:
+            meta, arrays = publication_payload(publication)
+            handles = {
+                name: self._shm.share(array)
+                for name, array in arrays.items()
+            }
+            self._payloads[digest] = (meta, handles)
+        return digest
+
+    def estimates(
+        self, publication, enc: EncodedWorkload
+    ) -> np.ndarray:
+        """Batched estimates of one publication over one encoded batch."""
+        if self._closed:
+            raise RuntimeError("the evaluator is closed")
+        digest = self.register(publication)
+        meta, handles = self._payloads[digest]
+        return self._pool.submit(
+            _worker.serve_estimates, digest, enc, meta, handles
+        ).result()
+
+    def forget(self, digest: str) -> None:
+        """Drop a publication's shared payload record (LRU eviction)."""
+        self._payloads.pop(digest, None)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self._shm.close()

@@ -1,0 +1,123 @@
+"""Contiguous Hilbert-key range partitioning of a table into shards.
+
+The Hilbert curve already drives materialization (§4.5): tuples close on
+the curve are close in QI-space, so a *contiguous key interval* is the
+natural shard boundary — every shard covers a compact region of
+QI-space, equivalence classes stay tight, and the merged publication's
+EC structure matches what locality-aware retrieval would build shard by
+shard.
+
+:class:`ShardPlan` computes ``k`` such intervals balanced by row count.
+Boundaries are snapped to key changes so rows with equal Hilbert keys
+never split across shards (their relative order inside a bucket is a
+tie the retriever breaks by position; splitting a tie run would make
+shard contents depend on the balance target rather than on the data).
+The plan is a pure function of ``(keys, shards)`` — no rng, no
+scheduling dependence — which is what makes every downstream merge
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous key-range shard.
+
+    Attributes:
+        index: Position of the shard in curve order.
+        rows: Global row indices of the shard's tuples, ascending.
+        key_lo / key_hi: Inclusive Hilbert-key interval the shard covers
+            (bounds of its actual members, not of the gap to neighbours).
+    """
+
+    index: int
+    rows: np.ndarray
+    key_lo: int
+    key_hi: int
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.rows.shape[0])
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A table's partition into contiguous Hilbert-key ranges.
+
+    Attributes:
+        n_rows: Total rows planned.
+        shards: The :class:`Shard` records, in ascending key order.
+    """
+
+    n_rows: int
+    shards: tuple[Shard, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    @classmethod
+    def build(cls, keys: np.ndarray, shards: int) -> "ShardPlan":
+        """Plan ``shards`` balanced contiguous key intervals.
+
+        Args:
+            keys: Per-row Hilbert keys (:func:`repro.core.retrieve.
+                qi_space_keys` of the table being sharded).
+            shards: Requested shard count; the effective count can be
+                lower when the table has fewer distinct key runs than
+                requested (equal keys are never split).
+
+        Returns:
+            A deterministic :class:`ShardPlan`; row sets are a partition
+            of ``range(len(keys))`` and key intervals are disjoint and
+            ascending.
+        """
+        keys = np.asarray(keys)
+        n = int(keys.shape[0])
+        if n == 0:
+            raise ValueError("cannot shard an empty table")
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        shards = min(shards, n)
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        # Ideal equal-count boundaries, then snap each to the start of
+        # its key's tie run so equal keys stay together.  Snapping left
+        # keeps the boundary deterministic and independent of the run's
+        # length; duplicate boundaries (giant tie runs) collapse shards.
+        ideal = (np.arange(1, shards) * n) // shards
+        snapped = np.searchsorted(sorted_keys, sorted_keys[ideal], side="left")
+        bounds = np.unique(np.concatenate(([0], snapped, [n])))
+        records = []
+        for i in range(bounds.shape[0] - 1):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            rows = np.sort(order[lo:hi])
+            records.append(
+                Shard(
+                    index=i,
+                    rows=rows,
+                    key_lo=int(sorted_keys[lo]),
+                    key_hi=int(sorted_keys[hi - 1]),
+                )
+            )
+        return cls(n_rows=n, shards=tuple(records))
+
+    def validate(self) -> None:
+        """Assert the partition invariants (used by tests and benches)."""
+        total = np.concatenate([s.rows for s in self.shards])
+        if total.shape[0] != self.n_rows or np.unique(total).shape[0] != self.n_rows:
+            raise AssertionError("shards do not partition the row set")
+        for a, b in zip(self.shards, self.shards[1:]):
+            if a.key_hi >= b.key_lo:
+                raise AssertionError("shard key intervals overlap")

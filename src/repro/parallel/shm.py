@@ -1,0 +1,149 @@
+"""Shared-memory transport for row arrays (the no-pickle fast path).
+
+A 1M-row table is ~30MB of int64; pickling it into every pool task
+would dwarf the work being distributed.  Instead the parent copies each
+array once into a POSIX shared-memory segment and ships a tiny
+picklable :class:`ArrayHandle` (segment name, shape, dtype); workers
+attach, copy out the slice they need, and close immediately.
+
+The copy-out-and-close discipline is deliberate: on Python 3.11 a
+``SharedMemory`` attach has no ``track=False`` escape hatch, so holding
+segments open in workers would race the resource tracker at pool
+shutdown.  Copying the (per-shard) slice costs one memcpy and makes the
+worker self-contained; the parent remains the sole owner and unlinks
+the segments when the session closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..dataset.table import Table
+from ..io import schema_from_spec, schema_to_spec, table_digest
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A picklable reference to one array in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class TableHandle:
+    """A picklable reference to a whole table (plus optional keys).
+
+    Attributes:
+        schema_spec: :func:`repro.io.schema_to_spec` of the table schema
+            (guaranteed lossless round-trip).
+        qi / sa: Handles of the row arrays.
+        keys: Optional handle of the table's precomputed Hilbert keys.
+        digest: The table's content digest, so worker-side caches key
+            artifacts identically to the parent without rehashing.
+    """
+
+    schema_spec: dict
+    qi: ArrayHandle
+    sa: ArrayHandle
+    keys: ArrayHandle | None
+    digest: str
+
+
+class ShmArrays:
+    """Parent-side owner of a set of shared-memory array segments.
+
+    Use as a context manager (or call :meth:`close`); segments are
+    unlinked exactly once, by the creating process.
+    """
+
+    def __init__(self):
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def share(self, array: np.ndarray) -> ArrayHandle:
+        """Copy ``array`` into a fresh segment and return its handle."""
+        if self._closed:
+            raise RuntimeError("shared-memory session is closed")
+        array = np.ascontiguousarray(array)
+        seg = shared_memory.SharedMemory(
+            create=True, size=max(1, array.nbytes)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=seg.buf)
+        view[:] = array
+        self._segments.append(seg)
+        return ArrayHandle(
+            name=seg.name, shape=tuple(array.shape), dtype=str(array.dtype)
+        )
+
+    def share_table(
+        self, table: Table, keys: np.ndarray | None = None
+    ) -> TableHandle:
+        """Share a table's row arrays (and optional Hilbert keys)."""
+        return TableHandle(
+            schema_spec=schema_to_spec(table.schema),
+            qi=self.share(table.qi),
+            sa=self.share(table.sa),
+            keys=self.share(keys) if keys is not None else None,
+            digest=table_digest(table),
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            seg.close()
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+
+    def __enter__(self) -> "ShmArrays":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - safety net
+        self.close()
+
+
+def load_array(
+    handle: ArrayHandle, rows: np.ndarray | None = None
+) -> np.ndarray:
+    """Copy an array (or a row subset of it) out of shared memory."""
+    seg = shared_memory.SharedMemory(name=handle.name)
+    try:
+        view = np.ndarray(
+            handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf
+        )
+        return view[rows].copy() if rows is not None else view.copy()
+    finally:
+        seg.close()
+
+
+def load_table(
+    handle: TableHandle, rows: np.ndarray | None = None
+) -> tuple[Table, np.ndarray | None]:
+    """Rebuild ``(table, keys)`` from a handle, optionally row-subset.
+
+    The qi/sa arrays are copied out of shared memory (so the table is
+    self-contained) and the schema is rebuilt from its spec.  With
+    ``rows=None`` the full table is returned and stamped with the
+    parent's content digest; a subset computes its own digest lazily if
+    ever needed.
+    """
+    schema = schema_from_spec(handle.schema_spec)
+    table = Table(
+        schema, load_array(handle.qi, rows), load_array(handle.sa, rows)
+    )
+    if rows is None:
+        table._content_digest = handle.digest
+    keys = load_array(handle.keys, rows) if handle.keys is not None else None
+    return table, keys

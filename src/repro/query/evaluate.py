@@ -218,6 +218,18 @@ class TableMaskEngine:
             raise ReferenceError("the engine's table has been collected")
         return table
 
+    def __getstate__(self) -> dict:
+        # Neither a weakref nor the strong-ref closure pickles; carry the
+        # table itself.  The restored engine always holds its table
+        # strongly — across a process boundary there is no registry
+        # entry left for a weak reference to protect.
+        return {"table": self.table, "index": self.index}
+
+    def __setstate__(self, state: dict) -> None:
+        table = state["table"]
+        self._table = lambda: table
+        self.index = state["index"]
+
     # -- chunked-broadcasting fallback ---------------------------------
 
     def _compare_qi_block(

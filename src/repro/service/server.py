@@ -107,6 +107,13 @@ class QueryService:
             batched query engine keys mask engines / answerers in; pass
             a facade's cache to share artifacts with it, or leave None
             for a private one.
+        executor: ``"thread"`` (default) answers batches on the worker
+            threads; ``"process"`` hands each drained batch to a
+            ``workers``-process pool
+            (:class:`repro.parallel.ProcessEvaluator`) — publications
+            ship to the pool once via shared memory, and answers are
+            bit-identical to the thread path because the same batched
+            kernels run over content-equal state.
 
     Use as a context manager, or call :meth:`close` to join the pool.
     """
@@ -120,11 +127,14 @@ class QueryService:
         max_batch: int = 1024,
         linger_seconds: float = 0.0,
         artifact_cache=None,
+        executor: str = "thread",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
         if artifact_cache is None:
             from ..api.cache import ArtifactCache
 
@@ -139,6 +149,14 @@ class QueryService:
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
         self.stats = ServiceStats()
+
+        self._evaluator = None
+        if executor == "process":
+            from ..parallel import ProcessEvaluator
+
+            # Created before the serving threads start, so the pool's
+            # fork happens while this process is still single-threaded.
+            self._evaluator = ProcessEvaluator(workers=workers)
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -201,6 +219,8 @@ class QueryService:
             self._cond.notify_all()
         for thread in self._threads:
             thread.join()
+        if self._evaluator is not None:
+            self._evaluator.close()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -262,6 +282,8 @@ class QueryService:
                         self._artifacts.invalidate(
                             digest=evicted.record.pub_id
                         )
+                        if self._evaluator is not None:
+                            self._evaluator.forget(evicted.record.pub_id)
                         table_digest = self._artifacts.table_key(
                             evicted.table
                         )
@@ -321,12 +343,17 @@ class QueryService:
         try:
             serving = self._serving(pub_id)
             enc = EncodedWorkload.encode(serving.schema, queries)
-            estimates = batch_estimates(
-                serving.table,
-                {"served": serving.answerer},
-                enc,
-                artifacts=self._artifacts,
-            )["served"]
+            if self._evaluator is not None:
+                estimates = self._evaluator.estimates(
+                    serving.publication, enc
+                )
+            else:
+                estimates = batch_estimates(
+                    serving.table,
+                    {"served": serving.answerer},
+                    enc,
+                    artifacts=self._artifacts,
+                )["served"]
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             for future in futures:
                 if not future.cancelled():
