@@ -170,6 +170,11 @@ def main() -> None:
     parser.add_argument("--rows", type=int, default=30_000)
     parser.add_argument("--queries", type=int, default=2_000)
     parser.add_argument(
+        "--fixture", choices=("census", "synthetic"), default="census",
+        help="table generator behind --rows (default: census); synthetic "
+             "scales past the CENSUS generator's natural profile",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=Path(__file__).parent / "BENCH_workload.json",
@@ -177,9 +182,17 @@ def main() -> None:
     parser.add_argument("--floor", type=float, default=10.0)
     args = parser.parse_args()
 
-    table = make_census(
-        args.rows, seed=7, correlation=0.3, qi_names=CENSUS_QI_ORDER
-    )
+    if args.fixture == "synthetic":
+        from repro.dataset.synthetic import synthetic
+
+        table = synthetic(
+            args.rows, qi_dims=3, sa_cardinality=32, skew=0.8, seed=7,
+            correlation=0.0,
+        )
+    else:
+        table = make_census(
+            args.rows, seed=7, correlation=0.3, qi_names=CENSUS_QI_ORDER
+        )
     queries = make_workload(
         table.schema, args.queries, LAMBDA, THETA, rng=QUERY_SEED
     )
@@ -209,6 +222,7 @@ def main() -> None:
     report = {
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
         "rows": args.rows,
+        "fixture": args.fixture,
         "queries": args.queries,
         "lambda": LAMBDA,
         "theta": THETA,

@@ -29,44 +29,45 @@ def main() -> None:
     parser.add_argument("--queries", type=int, default=500)
     args = parser.parse_args()
 
-    # 1. One session object: table + shared artifact cache.
-    ds = Dataset.from_census(args.tuples, seed=7)
-    print(f"dataset: {ds.n_rows} tuples, {ds.schema.n_qi} QI attributes")
+    # 1. One session object: table + shared artifact cache.  The
+    #    ``with`` block releases any worker pools even on error paths.
+    with Dataset.from_census(args.tuples, seed=7) as ds:
+        print(f"dataset: {ds.n_rows} tuples, {ds.schema.n_qi} QI attributes")
 
-    # 2. A declarative sweep — one batch, shared Hilbert encoding.
-    betas = (1.0, 2.0, 4.0)
-    runs = ds.sweep([("burel", {"beta": beta}) for beta in betas])
+        # 2. A declarative sweep — one batch, shared Hilbert encoding.
+        betas = (1.0, 2.0, 4.0)
+        runs = ds.sweep([("burel", {"beta": beta}) for beta in betas])
 
-    workload = ds.workload(args.queries, lam=3, theta=0.1)
-    with tempfile.TemporaryDirectory() as root:
-        store = PublicationStore(root, cache=ds.cache)
-        print(f"\n{'beta':>6}  {'real beta':>10}  {'t':>8}  "
-              f"{'median err':>10}  id")
-        for beta, run in zip(betas, runs):
-            # 3. Audit, then publish — admission re-checks the declared
-            #    contract on the same cached view the audit built.
-            report = run.audit()
-            record = run.publish(store, requirement={"beta": beta})
-            # 4. Workload utility via the batched query engine; the
-            #    precise answers are computed once for all three runs.
-            profile = run.evaluate(workload)
-            print(f"{beta:>6}  {report.privacy.beta:>10.4f}  "
-                  f"{report.privacy.t:>8.4f}  {profile.median:>10.2%}  "
-                  f"{record.pub_id[:12]}")
+        workload = ds.workload(args.queries, lam=3, theta=0.1)
+        with tempfile.TemporaryDirectory() as root:
+            store = PublicationStore(root, cache=ds.cache)
+            print(f"\n{'beta':>6}  {'real beta':>10}  {'t':>8}  "
+                  f"{'median err':>10}  id")
+            for beta, run in zip(betas, runs):
+                # 3. Audit, then publish — admission re-checks the declared
+                #    contract on the same cached view the audit built.
+                report = run.audit()
+                record = run.publish(store, requirement={"beta": beta})
+                # 4. Workload utility via the batched query engine; the
+                #    precise answers are computed once for all three runs.
+                profile = run.evaluate(workload)
+                print(f"{beta:>6}  {report.privacy.beta:>10.4f}  "
+                      f"{report.privacy.t:>8.4f}  {profile.median:>10.2%}  "
+                      f"{record.pub_id[:12]}")
 
-        # 5. Serve the β=2 release back out of the store.  The reload is
-        #    content-addressed, so it reuses the session's artifacts.
-        target = runs[1]
-        record = store.put(target.published, requirement={"beta": 2.0})
-        with QueryService(store, artifact_cache=ds.cache) as service:
-            estimates = service.answer(record.pub_id, workload[:5])
-        print(f"\nserved estimates (beta=2): "
-              + ", ".join(f"{e:.1f}" for e in estimates))
+            # 5. Serve the β=2 release back out of the store.  The reload
+            #    is content-addressed, so it reuses the session's artifacts.
+            target = runs[1]
+            record = store.put(target.published, requirement={"beta": 2.0})
+            with QueryService(store, artifact_cache=ds.cache) as service:
+                estimates = service.answer(record.pub_id, workload[:5])
+            print(f"\nserved estimates (beta=2): "
+                  + ", ".join(f"{e:.1f}" for e in estimates))
 
-    stats = ds.cache.stats()
-    print(f"\nartifact cache: {stats['entries']} artifacts, "
-          f"{stats['nbytes'] / 1e6:.1f} MB, "
-          f"{stats['hits']} hits / {stats['misses']} misses")
+        stats = ds.cache.stats()
+        print(f"\nartifact cache: {stats['entries']} artifacts, "
+              f"{stats['nbytes'] / 1e6:.1f} MB, "
+              f"{stats['hits']} hits / {stats['misses']} misses")
 
 
 if __name__ == "__main__":

@@ -14,6 +14,21 @@ cache::
 
     runs = ds.sweep([("burel", {"beta": b}) for b in (1.0, 2.0, 4.0)])
 
+Datasets are also **versioned and mutable**: a sharded run becomes a
+tracked baseline, ``ds.append(rows)`` routes new rows to shards and
+evicts only the touched shards' cached artifacts, and ``ds.refresh()``
+re-anonymizes incrementally — byte-identical to a cold run over the
+concatenated table, at the cost of the dirty shards alone::
+
+    with Dataset(table) as ds:                    # closes pools on exit
+        base = ds.anonymize("burel", beta=2.0, rng=17, shards=16)
+        rec0 = base.publish(store, requirement={"beta": 2.0}, name="census")
+        ds.append(new_rows)
+        run = ds.refresh()                        # reuses clean shards
+        rec1 = run.publish(store, requirement={"beta": 2.0},
+                           name="census", parent=rec0)
+        store.versions("census")                  # lineage, parent-first
+
 The :class:`ArtifactCache` replaces the layers' scattered private memos
 (engine ``PreparedTable`` fields, weak-keyed mask engines, id-keyed
 publication views) with one content-digest-keyed store offering size
@@ -22,11 +37,15 @@ accounting and explicit invalidation; see :mod:`repro.api.cache`.
 
 from .cache import ARTIFACT_KINDS, ArtifactCache, estimate_nbytes
 from .dataset import AnonymizationRun, Dataset
+from .versioned import RefreshRun, VersionState, lineage_token
 
 __all__ = [
     "ARTIFACT_KINDS",
     "AnonymizationRun",
     "ArtifactCache",
     "Dataset",
+    "RefreshRun",
+    "VersionState",
     "estimate_nbytes",
+    "lineage_token",
 ]

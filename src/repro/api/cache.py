@@ -51,6 +51,7 @@ ARTIFACT_KINDS = (
     "precise",
     "answerer",
     "view",
+    "shard_run",
 )
 
 
@@ -236,6 +237,22 @@ class ArtifactCache:
                 self._nbytes -= nbytes
             self._invalidations += len(doomed)
             return len(doomed)
+
+    def discard(self, key: tuple) -> bool:
+        """Drop one exact key; returns whether it was present.
+
+        The surgical sibling of :meth:`invalidate`: an append marks a
+        handful of shards dirty, and only *their* per-shard artifacts
+        must go — matching by kind or digest would also evict the clean
+        shards the whole refresh optimization exists to keep.
+        """
+        with self._lock:
+            hit = self._entries.pop(key, None)
+            if hit is None:
+                return False
+            self._nbytes -= hit[1]
+            self._invalidations += 1
+            return True
 
     def clear(self) -> int:
         """Drop every entry; returns how many there were."""

@@ -71,6 +71,18 @@ class Dataset:
         self.cache = cache if cache is not None else ArtifactCache()
         self._prepared: PreparedTable | None = None
         self._sharded: dict = {}
+        self._version = None  # VersionState of the last sharded run
+
+    # ------------------------------------------------------------------
+    # Context manager (releases worker pools / shared memory)
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "Dataset":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close_parallel()
+        return False
 
     # ------------------------------------------------------------------
     # Constructors
@@ -235,6 +247,120 @@ class Dataset:
         return count
 
     # ------------------------------------------------------------------
+    # Versioning: append + incremental refresh
+    # ------------------------------------------------------------------
+
+    def _track(self, session, run, algorithm, params, seed) -> None:
+        """Snapshot a sharded run as the versioned baseline.
+
+        A facade tracks one lineage at a time: a new sharded run drops
+        the previous lineage's per-shard artifacts (by token, so clean
+        entries of *this* lineage are never collateral damage later).
+        """
+        from .versioned import snapshot_baseline
+
+        if self._version is not None:
+            self.cache.invalidate("shard_run", digest=self._version.token)
+        self._version = snapshot_baseline(
+            self, session, run, algorithm, params, seed
+        )
+
+    def version_state(self):
+        """The :class:`~repro.api.versioned.VersionState` of the last
+        sharded run over this facade, or ``None``."""
+        return self._version
+
+    def _coerce_delta(self, rows) -> Table:
+        """Appended rows as a :class:`Table` against this schema."""
+        if isinstance(rows, Table):
+            return rows
+        if isinstance(rows, Dataset):
+            return rows.table
+        if isinstance(rows, tuple) and len(rows) == 2:
+            qi, sa = rows
+            return Table(
+                self.schema,
+                np.asarray(qi, dtype=np.int64),
+                np.asarray(sa, dtype=np.int64),
+            )
+        raise TypeError(
+            "append() takes a Table, a Dataset, or a (qi, sa) array "
+            f"pair; got {type(rows).__name__!r}"
+        )
+
+    def append(self, rows) -> int:
+        """Append rows; returns how many were added.
+
+        The facade's table becomes the concatenation (old rows keep
+        their indices; new rows follow).  Whole-table artifacts are
+        carried over to the new content key where extension is exact —
+        Hilbert keys concatenate (the curve depends only on the schema's
+        QI domains), SA counts add — so the grown table never recomputes
+        them from scratch.  If a sharded baseline is being tracked, the
+        new rows are routed to shards by Hilbert-key interval
+        (:meth:`~repro.parallel.ShardPlan.diff`) and exactly the touched
+        shards' cached artifacts are evicted; :meth:`refresh` then
+        recomputes only those.
+
+        Memoized sharded sessions are closed (their shared-memory copies
+        describe the old table); the next sharded call rebuilds them.
+        """
+        from ..core.retrieve import qi_space_keys
+
+        delta = self._coerce_delta(rows)
+        if delta.n_rows == 0:
+            return 0
+        old = self.table
+        old_key = self.content_key
+        cached_keys = self.cache.get(("hilbert_keys", old_key))
+        new_table = Table.concat([old, delta])
+        new_key = self.cache.table_key(new_table)
+        delta_keys = qi_space_keys(delta)
+        if cached_keys is not None:
+            self.cache.put(
+                ("hilbert_keys", new_key),
+                np.concatenate([cached_keys, delta_keys]),
+            )
+        self.cache.put(
+            ("sa_distribution", new_key),
+            (old.sa_counts() + delta.sa_counts()) / new_table.n_rows,
+        )
+        state = self._version
+        if state is not None:
+            old_keys = (
+                cached_keys if cached_keys is not None else qi_space_keys(old)
+            )
+            diff = state.plan.diff(old_keys, delta_keys)
+            state.plan = diff.plan
+            for i in diff.dirty:
+                self.cache.discard(state.shard_key(i))
+            state.dirty |= set(diff.dirty)
+        self.table = new_table
+        self._prepared = None
+        self.close_parallel()
+        return delta.n_rows
+
+    def refresh(self):
+        """Re-anonymize incrementally after :meth:`append`.
+
+        Reuses every clean shard's cached artifact from the tracked
+        baseline, re-runs the engine only over dirty shards (with the
+        lineage's pinned SA distribution and original per-shard seeds),
+        and returns a :class:`~repro.api.versioned.RefreshRun` whose
+        publication is byte-identical to a cold sharded run over the
+        concatenated table.  Its audit view measures the *current*
+        table's true distribution, so certification stays honest.
+        """
+        from .versioned import refresh_state
+
+        if self._version is None:
+            raise RuntimeError(
+                "refresh() needs a tracked baseline: run "
+                "anonymize(algorithm, shards=N) first"
+            )
+        return refresh_state(self, self._version)
+
+    # ------------------------------------------------------------------
     # The fluent chain
     # ------------------------------------------------------------------
 
@@ -270,9 +396,10 @@ class Dataset:
                     "sharded anonymization takes an int seed (per-shard "
                     "generators are spawned from it), not a Generator"
                 )
-            return self.sharded(workers or 1, shards).anonymize(
-                algorithm, seed=rng, **params
-            )
+            session = self.sharded(workers or 1, shards)
+            run = session.anonymize(algorithm, seed=rng, **params)
+            self._track(session, run, algorithm, params, rng)
+            return run
         result = engine_run(
             algorithm, self.table, rng=rng, shared=self.prepared(), **params
         )
@@ -468,9 +595,15 @@ class AnonymizationRun:
         *,
         requirement: Mapping[str, Any],
         ordered_emd: bool = False,
+        name: "str | None" = None,
+        parent=None,
     ):
         """Certify and admit the publication to a store, with the run's
         provenance (algorithm, resolved params, seed) in the manifest.
+
+        ``name`` and ``parent`` thread version lineage into the store:
+        successive refreshes published under one name form a chain that
+        ``store.versions(name)`` / ``store.latest(name)`` walk.
 
         Returns the :class:`~repro.service.store.PublicationRecord`;
         raises :class:`~repro.service.store.CertificationError` (and
@@ -484,6 +617,8 @@ class AnonymizationRun:
             seed=self.seed,
             ordered_emd=ordered_emd,
             cache=self.dataset.cache,
+            name=name,
+            parent=parent,
         )
 
     def evaluate(

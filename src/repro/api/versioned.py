@@ -1,0 +1,333 @@
+"""Versioned-dataset machinery: incremental re-anonymization after appends.
+
+The paper anonymizes a static table; production data churns.  This
+module gives :class:`~repro.api.dataset.Dataset` a mutable, versioned
+life cycle::
+
+    ds = Dataset(table)
+    base = ds.anonymize("burel", beta=2.0, rng=17, shards=16)   # baseline
+    ds.append(delta_rows)                # marks dirty shards, seeds caches
+    run = ds.refresh()                   # recompute dirty, reuse clean
+    run.publish(store, requirement={"beta": 2.0},
+                name="census", parent=base_record)
+
+**The reuse contract.**  A sharded baseline run leaves one artifact per
+shard in the session's :class:`~repro.api.cache.ArtifactCache` — the
+shard's lifted publication groups, its local membership vector, its
+group×SA histogram and boxes — under ``("shard_run", lineage_token,
+shard_index)``.  An append routes the new rows to shards by Hilbert-key
+interval (:meth:`repro.parallel.ShardPlan.diff`), evicts exactly the
+touched shards' artifacts, and seeds the concatenated table's Hilbert
+keys and SA distribution from the cached baseline arrays.  A refresh
+then re-runs the engine only on dirty shards and assembles the
+whole-table publication and audit view from cached + recomputed pieces.
+
+**The pinned-``P`` invariant.**  Shard anonymization bucketizes against
+the overall SA distribution ``P`` (see
+:func:`repro.engine.shard.prepare_shard`).  Appending rows shifts ``P``
+slightly — if shards re-prepared against the *current* ``P``, every
+shard would be dirty and nothing could ever be reused.  The lineage
+therefore pins the **baseline** table's ``P`` for anonymization across
+all refreshes, while audits and certification always measure against
+the current table's *true* distribution (privacy claims stay honest:
+the gate re-checks the whole refreshed publication against the real
+adversary).  Byte-identity is asserted against a cold sharded run over
+the concatenated table using the same diffed plan and the same pinned
+``P`` — the exact computation the refresh is claiming to shortcut.
+
+Per-shard randomness keeps the PR 6 contract: shard ``i`` always draws
+from child ``i`` of ``SeedSequence(seed)``, and ``ShardPlan.diff`` never
+changes the shard count, so dirty-shard recomputes consume exactly the
+stream the baseline run would have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.pipeline import STAGES, RunResult
+from ..engine.shard import ShardPiece, lift_groups, assemble_publication, run_shard
+from ..audit.view import merge_shard_views
+from ..parallel.plan import ShardPlan
+from ..rng import spawn_seeds
+from .dataset import AnonymizationRun
+
+
+def lineage_token(
+    table_key: str,
+    algorithm: str,
+    params: dict,
+    seed: "int | None",
+    n_shards: int,
+) -> str:
+    """A short stable id for one (baseline table, run configuration).
+
+    Per-shard artifacts are keyed under it, so two different baselines
+    (or two parameterizations of one baseline) never alias each other's
+    cached shards.
+    """
+    blob = repr(
+        (
+            table_key,
+            algorithm,
+            sorted((str(k), repr(v)) for k, v in params.items()),
+            seed,
+            n_shards,
+        )
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class VersionState:
+    """The mutable lineage of one sharded baseline run.
+
+    Attributes:
+        algorithm / params / seed: The baseline run configuration;
+            dirty-shard recomputes replay it exactly.
+        kind / l: The publication format the baseline produced.
+        sa_distribution: The **pinned** anonymization-time ``P`` (the
+            baseline table's overall SA distribution) — see the module
+            docstring for why it never moves.
+        plan: The current :class:`~repro.parallel.ShardPlan`; widened in
+            place of the baseline's by each append's diff.
+        token: The :func:`lineage_token` keying the shard artifacts.
+        version: How many refreshes have completed (0 = baseline).
+        dirty: Shard indices whose artifacts are stale.
+    """
+
+    algorithm: str
+    params: dict
+    seed: "int | None"
+    kind: str
+    l: "int | None"
+    sa_distribution: np.ndarray
+    plan: ShardPlan
+    token: str
+    version: int = 0
+    dirty: set = field(default_factory=set)
+
+    def shard_key(self, index: int) -> tuple:
+        """The cache key of shard ``index``'s publication artifact."""
+        return ("shard_run", self.token, index)
+
+
+def shard_artifact(
+    rows: np.ndarray, piece: ShardPiece, groups=None
+) -> dict:
+    """One shard's cacheable publication slice.
+
+    Everything a refresh needs to *reuse* the shard without touching its
+    rows again: the lifted (global-row) groups ready to concatenate into
+    a publication, the local membership vector and histogram matrix the
+    merged audit view scatters/stacks, the stacked boxes, and the
+    shard's stage timings (reported as zero-cost on reuse).
+
+    ``groups`` lets the baseline snapshot pass the merged publication's
+    already-lifted group records instead of rebuilding them — the
+    baseline merge constructed them once already.
+    """
+    if groups is None:
+        groups = lift_groups(rows, piece)
+    class_of = np.full(rows.shape[0], -1, dtype=np.int64)
+    for g, local in enumerate(piece.group_rows):
+        class_of[local] = g
+    if np.any(class_of < 0):
+        raise ValueError("shard groups do not partition the shard rows")
+    boxes = (
+        np.array(piece.boxes, dtype=np.int64)
+        if piece.boxes is not None
+        else None
+    )
+    return {
+        "kind": piece.kind,
+        "l": piece.l,
+        "groups": tuple(groups),
+        "class_of": class_of,
+        "counts": np.ascontiguousarray(piece.sa_counts),
+        "boxes": boxes,
+        "stage_seconds": dict(piece.stage_seconds),
+        "elapsed_seconds": piece.elapsed_seconds,
+    }
+
+
+def snapshot_baseline(
+    dataset, session, run, algorithm: str, params: dict, seed: "int | None"
+) -> VersionState:
+    """Record a sharded run as the dataset's versioned baseline.
+
+    Snapshots each shard's piece into the shared cache (reusing the
+    merged publication's lifted group records — no re-construction) and
+    returns the :class:`VersionState` that future appends/refreshes
+    evolve.  A previous lineage's artifacts are dropped first: one
+    facade tracks one baseline at a time.
+    """
+    pieces = run._pieces
+    state = VersionState(
+        algorithm=algorithm,
+        params=dict(params),
+        seed=seed,
+        kind=pieces[0].kind,
+        l=pieces[0].l,
+        sa_distribution=session._anon_probs,
+        plan=session.plan,
+        token=lineage_token(
+            dataset.content_key,
+            algorithm,
+            params,
+            seed,
+            session.plan.n_shards,
+        ),
+    )
+    published = run.published
+    merged = (
+        published.classes if state.kind == "generalized" else published.groups
+    )
+    offset = 0
+    for i, (shard, piece) in enumerate(zip(session.plan, pieces)):
+        groups = merged[offset : offset + piece.n_groups]
+        offset += piece.n_groups
+        dataset.cache.put(
+            state.shard_key(i), shard_artifact(shard.rows, piece, groups)
+        )
+    return state
+
+
+class RefreshRun(AnonymizationRun):
+    """An :class:`~repro.api.dataset.AnonymizationRun` produced by
+    :meth:`Dataset.refresh`, annotated with what was reused.
+
+    Attributes:
+        reused: Shard indices whose cached artifacts were reused.
+        recomputed: Shard indices re-anonymized this refresh.
+        version: The lineage's version counter after this refresh.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        result: RunResult,
+        *,
+        seed: "int | None",
+        reused: tuple,
+        recomputed: tuple,
+        version: int,
+    ):
+        super().__init__(dataset, result, seed=seed)
+        self.reused = reused
+        self.recomputed = recomputed
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RefreshRun(v{self.version}, {len(self.reused)} reused, "
+            f"{len(self.recomputed)} recomputed)"
+        )
+
+
+def refresh_state(dataset, state: VersionState) -> RefreshRun:
+    """Re-anonymize a versioned dataset incrementally.
+
+    Clean shards come straight from the cache (``get_or_build`` hits);
+    dirty — or LRU-evicted — shards re-run the engine over their (now
+    extended) row sets with the pinned baseline ``P`` and their original
+    per-shard seed stream.  The merged publication re-validates the row
+    partition in its constructor, and the merged audit view (seeded
+    under the publication's content key for certification reuse)
+    measures against the **current** table's true distribution.
+    """
+    start = time.perf_counter()
+    table, cache, plan = dataset.table, dataset.cache, state.plan
+    if plan.n_rows != table.n_rows:
+        raise RuntimeError(
+            f"lineage plan covers {plan.n_rows} rows but the table has "
+            f"{table.n_rows}; append() is the only supported mutation"
+        )
+    keys = dataset.hilbert_keys()
+    seeds = (
+        spawn_seeds(state.seed, plan.n_shards)
+        if state.seed is not None
+        else [None] * plan.n_shards
+    )
+    recomputed: list[int] = []
+    artifacts = []
+    for i, shard in enumerate(plan):
+        def build(shard=shard, i=i):
+            recomputed.append(i)
+            rng = (
+                np.random.default_rng(seeds[i])
+                if seeds[i] is not None
+                else None
+            )
+            piece = run_shard(
+                state.algorithm,
+                table.subset(shard.rows),
+                keys=keys[shard.rows],
+                sa_distribution=state.sa_distribution,
+                rng=rng,
+                **state.params,
+            )
+            return shard_artifact(shard.rows, piece)
+
+        artifacts.append(cache.get_or_build(state.shard_key(i), build))
+    reused = tuple(i for i in range(plan.n_shards) if i not in recomputed)
+
+    groups: list = []
+    for artifact in artifacts:
+        groups.extend(artifact["groups"])
+    published = assemble_publication(table, state.kind, groups, l=state.l)
+
+    box_stacks = [a["boxes"] for a in artifacts]
+    view = merge_shard_views(
+        table,
+        [shard.rows for shard in plan],
+        [a["class_of"] for a in artifacts],
+        [a["counts"] for a in artifacts],
+        boxes=(
+            np.vstack(box_stacks) if box_stacks[0] is not None else None
+        ),
+        global_distribution=dataset.sa_distribution(),
+    )
+    cache.put(("view", cache.publication_key(published)), view)
+
+    state.dirty.clear()
+    state.version += 1
+    stage_seconds: dict[str, float] = {}
+    for i in recomputed:
+        for name in STAGES:
+            if name in artifacts[i]["stage_seconds"]:
+                stage_seconds[name] = stage_seconds.get(name, 0.0) + float(
+                    artifacts[i]["stage_seconds"][name]
+                )
+    provenance = {
+        "incremental": {
+            "token": state.token,
+            "version": state.version,
+            "n_shards": plan.n_shards,
+            "reused": list(reused),
+            "recomputed": list(recomputed),
+            "recomputed_rows": int(
+                sum(plan.shards[i].n_rows for i in recomputed)
+            ),
+        }
+    }
+    result = RunResult(
+        algorithm=state.algorithm,
+        published=published,
+        params=dict(state.params),
+        stage_seconds=stage_seconds,
+        provenance=provenance,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+    return RefreshRun(
+        dataset,
+        result,
+        seed=state.seed,
+        reused=reused,
+        recomputed=tuple(recomputed),
+        version=state.version,
+    )

@@ -112,6 +112,77 @@ class PublicationView:
         )
 
 
+def synthesize_view(
+    source,
+    class_of: np.ndarray,
+    counts: np.ndarray,
+    *,
+    boxes=None,
+    global_distribution=None,
+    memo: "dict | None" = None,
+) -> PublicationView:
+    """Build a :class:`PublicationView` from already-known arrays.
+
+    ``PublicationView.__init__`` re-derives membership and histograms
+    from a publication object; here both already exist (worker-side from
+    the shard groups, parent-side from a shard merge or a versioned
+    refresh), so the view is assembled directly.
+    ``global_distribution`` overrides the lazily computed overall ``P``
+    — a shard worker passes the full-table distribution so shard metrics
+    measure against the global adversary.
+    """
+    view = object.__new__(PublicationView)
+    view.source = source
+    view.n_groups = int(counts.shape[0])
+    view.class_of = class_of
+    view.counts = counts
+    view.sizes = counts.sum(axis=1)
+    view.boxes = boxes
+    view.memo = dict(memo) if memo else {}
+    if global_distribution is not None:
+        view.__dict__["global_distribution"] = global_distribution
+    return view
+
+
+def merge_shard_views(
+    source,
+    shard_rows,
+    shard_class_of,
+    shard_counts,
+    *,
+    boxes=None,
+    global_distribution=None,
+    memo: "dict | None" = None,
+) -> PublicationView:
+    """One whole-table view from per-shard membership and histograms.
+
+    Shards partition the rows and groups concatenate in shard order, so
+    the merged ``class_of`` is a scatter of each shard's local ids (with
+    a running group offset) into global row positions and the merged
+    histogram matrix is a plain vstack — bit-identical to building the
+    view from the merged publication directly.  Both the parallel
+    layer's shard-parallel audit and the incremental refresh path (which
+    mixes cached clean-shard arrays with recomputed dirty-shard ones)
+    merge through here.
+    """
+    n = source.n_rows
+    class_of = np.full(n, -1, dtype=np.int64)
+    offset = 0
+    for rows, local, counts in zip(shard_rows, shard_class_of, shard_counts):
+        class_of[rows] = local + offset
+        offset += counts.shape[0]
+    if np.any(class_of < 0):
+        raise ValueError("shard views do not cover the table's rows")
+    return synthesize_view(
+        source,
+        class_of,
+        np.vstack(shard_counts),
+        boxes=boxes,
+        global_distribution=global_distribution,
+        memo=memo,
+    )
+
+
 # Views are keyed by publication identity: AnatomyTable is an unhashable
 # dataclass, so a WeakKeyDictionary (the query layer's idiom for Table
 # keys) cannot hold it; a finalizer evicts the entry when the

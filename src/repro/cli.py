@@ -10,6 +10,8 @@ Usage::
         --sensitive Disease --beta 2 -o out.csv
     repro publish data.csv --store pubs/ --qi Age --numerical Age \\
         --sensitive Disease --algorithm burel --beta 2
+    repro append data.csv delta.csv --store pubs/ --name census \\
+        --qi Age --numerical Age --sensitive Disease --beta 2 --shards 8
     repro query --store pubs/ --id 3fa9 --queries 1000 --theta 0.1
 
 (``python -m repro.cli`` works identically when the console script is
@@ -33,6 +35,15 @@ layer and **refuses** publications whose measured privacy violates the
 declared β/t/ℓ requirement.  ``query`` answers a COUNT workload against
 a stored publication through the micro-batching
 :class:`~repro.service.QueryService`.
+
+``append`` exercises the versioned-dataset chain: anonymize the base
+CSV sharded, publish it under ``--name``, append the delta CSV (loaded
+against the base table's schema), re-anonymize **incrementally**
+(recomputing only the Hilbert-key shards the new rows touch), and
+publish the refreshed release as a child version — the store's
+``versions(name)`` lineage then walks base → refresh.  Both releases
+pass the same certification gate; a refresh that violates the contract
+is refused like any other publication.
 
 ``--seed`` feeds the engine's uniform rng parameter: omitted means the
 algorithm's deterministic behaviour (e.g. BUREL's Hilbert sweep); given,
@@ -167,6 +178,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="declare an l-diversity contract",
     )
 
+    append = sub.add_parser("append")
+    append.add_argument("input", help="base CSV file with a header row")
+    append.add_argument("delta", help="CSV of rows to append (same header)")
+    append.add_argument(
+        "--store", required=True, help="publication store directory"
+    )
+    append.add_argument(
+        "--name", default="dataset",
+        help="lineage name both versions are published under",
+    )
+    _add_table_args(append)
+    _add_model_args(append)
+    _add_algorithm_args(append, GENERALIZERS)
+    _add_run_args(append)
+    _add_workers_arg(append)
+    append.add_argument(
+        "--shards", type=int, default=4,
+        help="Hilbert-key shard count (the unit of incremental reuse)",
+    )
+    append.add_argument(
+        "--require-beta", type=float, default=None,
+        help="declare a beta contract (default: the algorithm's target)",
+    )
+    append.add_argument(
+        "--require-t", type=float, default=None,
+        help="declare a t-closeness contract",
+    )
+    append.add_argument(
+        "--require-l", type=int, default=None,
+        help="declare an l-diversity contract",
+    )
+
     query = sub.add_parser("query")
     query.add_argument(
         "--store", required=True, help="publication store directory"
@@ -294,43 +337,44 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
 
 
 def _run_generalize(args: argparse.Namespace) -> int:
-    ds = _load_dataset(args)
-    result = ds.anonymize(
-        args.algorithm, rng=args.seed, workers=_workers(args),
-        **_algorithm_params(args)
-    )
-    if args.algorithm == "anatomy":
-        write_anatomy_csv(result.published, args.output)
-        print(f"published {len(result.published)} anatomy groups "
-              f"-> {args.output} (+ .json sidecar)")
-        _print_stages(result, args.verbose)
-        from .audit.metrics import privacy_profile as audit_privacy_profile
+    with _load_dataset(args) as ds:
+        result = ds.anonymize(
+            args.algorithm, rng=args.seed, workers=_workers(args),
+            **_algorithm_params(args)
+        )
+        if args.algorithm == "anatomy":
+            write_anatomy_csv(result.published, args.output)
+            print(f"published {len(result.published)} anatomy groups "
+                  f"-> {args.output} (+ .json sidecar)")
+            _print_stages(result, args.verbose)
+            from .audit.metrics import privacy_profile as audit_privacy_profile
 
-        print(f"measured privacy: {audit_privacy_profile(result.view())}")
-        return 0
-    write_generalized_csv(result.published, args.output)
-    print(f"published {len(result.published)} equivalence classes "
-          f"-> {args.output}")
-    _print_stages(result, args.verbose)
-    print(f"measured privacy: {privacy_profile(result.published)}")
-    print(f"average information loss: "
-          f"{average_information_loss(result.published):.4f}")
+            print(f"measured privacy: "
+                  f"{audit_privacy_profile(result.view())}")
+            return 0
+        write_generalized_csv(result.published, args.output)
+        print(f"published {len(result.published)} equivalence classes "
+              f"-> {args.output}")
+        _print_stages(result, args.verbose)
+        print(f"measured privacy: {privacy_profile(result.published)}")
+        print(f"average information loss: "
+              f"{average_information_loss(result.published):.4f}")
     return 0
 
 
 def _run_perturb(args: argparse.Namespace) -> int:
-    ds = _load_dataset(args)
-    seed = args.seed if args.seed is not None else 0
-    result = ds.anonymize(
-        "perturb",
-        rng=np.random.default_rng(seed),
-        beta=args.beta, enhanced=not args.basic,
-    )
-    write_perturbed_csv(result.published, args.output)
-    print(f"perturbed table -> {args.output} (+ .json sidecar)")
-    _print_stages(result, args.verbose)
-    print(f"sensitive values kept intact: "
-          f"{result.published.retention_rate():.2%}")
+    with _load_dataset(args) as ds:
+        seed = args.seed if args.seed is not None else 0
+        result = ds.anonymize(
+            "perturb",
+            rng=np.random.default_rng(seed),
+            beta=args.beta, enhanced=not args.basic,
+        )
+        write_perturbed_csv(result.published, args.output)
+        print(f"perturbed table -> {args.output} (+ .json sidecar)")
+        _print_stages(result, args.verbose)
+        print(f"sensitive values kept intact: "
+              f"{result.published.retention_rate():.2%}")
     return 0
 
 
@@ -349,11 +393,12 @@ def _run_publish(args: argparse.Namespace) -> int:
                   "--workers has no effect")
             workers = None
     try:
-        result = ds.anonymize(
-            args.algorithm, rng=rng, workers=workers,
-            **_algorithm_params(args)
-        )
-        record = result.publish(store, requirement=requirement)
+        with ds:
+            result = ds.anonymize(
+                args.algorithm, rng=rng, workers=workers,
+                **_algorithm_params(args)
+            )
+            record = result.publish(store, requirement=requirement)
     except CertificationError as exc:
         print(f"refused: {exc}", file=sys.stderr)
         return 1
@@ -365,6 +410,65 @@ def _run_publish(args: argparse.Namespace) -> int:
           + (f", {record.n_groups} groups" if record.n_groups else "")
           + ")")
     print(f"id: {record.pub_id}")
+    return 0
+
+
+def _run_append(args: argparse.Namespace) -> int:
+    from .io import load_csv_table
+    from .service import CertificationError, PublicationStore
+
+    ds = _load_dataset(args)
+    store = PublicationStore(args.store, cache=ds.cache)
+    requirement = _requirement(args)
+    with ds:
+        try:
+            base = ds.anonymize(
+                args.algorithm, rng=args.seed, workers=_workers(args),
+                shards=args.shards, **_algorithm_params(args)
+            )
+            base_record = base.publish(
+                store, requirement=requirement, name=args.name
+            )
+        except CertificationError as exc:
+            print(f"refused (baseline): {exc}", file=sys.stderr)
+            return 1
+        print(f"published baseline {base_record.pub_id[:12]} "
+              f"as {args.name!r} ({args.shards} shards)")
+        _print_stages(base, args.verbose)
+
+        delta = load_csv_table(
+            args.delta,
+            qi_names=_split(args.qi),
+            sensitive_name=args.sensitive,
+            numerical=_split(args.numerical),
+            schema=ds.schema,
+        )
+        added = ds.append(delta)
+        state = ds.version_state()
+        print(f"appended {added} tuples "
+              f"({len(state.dirty)}/{args.shards} shards dirty)")
+
+        refreshed = ds.refresh()
+        incremental = refreshed.provenance["incremental"]
+        try:
+            record = refreshed.publish(
+                store, requirement=requirement,
+                name=args.name, parent=base_record,
+            )
+        except CertificationError as exc:
+            print(f"refused (refresh): {exc}", file=sys.stderr)
+            return 1
+        _print_stages(refreshed, args.verbose)
+        print(f"refreshed v{incremental['version']}: reused "
+              f"{len(incremental['reused'])} shard(s), recomputed "
+              f"{len(incremental['recomputed'])} "
+              f"({incremental['recomputed_rows']} rows)")
+        print(f"admitted {record.kind} publication "
+              f"({record.n_rows} rows) id: {record.pub_id}")
+        chain = " -> ".join(
+            rec.pub_id[:12] for rec in store.versions(args.name)
+        )
+        print(f"lineage {args.name!r}: {chain}")
     return 0
 
 
@@ -428,6 +532,8 @@ def run(argv: list[str] | None = None) -> int:
         return _run_perturb(args)
     if args.command == "publish":
         return _run_publish(args)
+    if args.command == "append":
+        return _run_append(args)
     return _run_query(args)
 
 

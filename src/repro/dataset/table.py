@@ -86,6 +86,37 @@ class Table:
         rows = np.asarray(rows)
         return Table(self.schema, self.qi[rows], self.sa[rows])
 
+    @classmethod
+    def concat(cls, tables: "Sequence[Table]") -> "Table":
+        """One table holding the given tables' rows, in order.
+
+        All inputs must share one schema *by content* (attribute names,
+        domains, hierarchies, SA labels) — the appended-rows path of the
+        versioned dataset concatenates a delta loaded against the base
+        schema, so content equality is the honest requirement, not
+        object identity.  The constructor re-validates the merged
+        columns against the shared domains.
+        """
+        tables = list(tables)
+        if not tables:
+            raise ValueError("concat needs at least one table")
+        first = tables[0]
+        from ..io import schema_to_spec
+
+        spec = schema_to_spec(first.schema)
+        for other in tables[1:]:
+            if other.schema is not first.schema and (
+                schema_to_spec(other.schema) != spec
+            ):
+                raise ValueError(
+                    "cannot concat tables with different schemas"
+                )
+        return cls(
+            first.schema,
+            np.concatenate([t.qi for t in tables], axis=0),
+            np.concatenate([t.sa for t in tables]),
+        )
+
     def project(self, qi_names: Sequence[str]) -> "Table":
         """A new table keeping only the named QI attributes (same SA).
 

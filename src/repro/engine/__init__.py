@@ -29,6 +29,14 @@ deterministic behaviour; pass an int seed or a generator to randomize.
 from .pipeline import STAGES, Pipeline, PipelineContext, RunResult
 from .registry import Anonymizer, algorithm_names, get_algorithm, register, run
 from .batch import EngineJob, PreparedTable, run_many
+from .shard import (
+    ShardPiece,
+    assemble_publication,
+    lift_groups,
+    merge_pieces,
+    prepare_shard,
+    run_shard,
+)
 
 # Importing the adapters populates the registry.
 from . import algorithms  # noqa: E402,F401
@@ -46,4 +54,10 @@ __all__ = [
     "EngineJob",
     "PreparedTable",
     "run_many",
+    "ShardPiece",
+    "assemble_publication",
+    "lift_groups",
+    "merge_pieces",
+    "prepare_shard",
+    "run_shard",
 ]

@@ -1,0 +1,198 @@
+"""Shard-scoped engine entry points: prepare, run, lift, merge.
+
+The engine's public :func:`repro.engine.run` anonymizes a whole table;
+the parallel layer (PR 6) and the incremental-republication layer (this
+PR) both anonymize *one contiguous Hilbert-key shard at a time* and
+assemble whole-table publications from the per-shard group structure.
+This module is the single home of that shard-scoped contract, so the
+process-pool worker (:mod:`repro.parallel._worker`), the serial merge
+(:class:`repro.parallel.ShardedSession`) and the versioned refresh path
+(:mod:`repro.api.versioned`) all produce byte-identical pieces through
+one code path.
+
+A :class:`ShardPiece` is deliberately compact — shard-*local* member
+rows, per-EC boxes and SA histograms, never the shard table itself — so
+it is cheap to ship across a process boundary and cheap to keep in the
+:class:`repro.api.ArtifactCache` between appends.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..anonymity.anatomy import AnatomyGroup, AnatomyTable
+from ..dataset.published import EquivalenceClass, GeneralizedTable
+from ..dataset.table import Table
+from .batch import PreparedTable
+from .registry import run as engine_run
+
+
+@dataclass
+class ShardPiece:
+    """One shard's publication in compact, transportable form.
+
+    Attributes:
+        kind: ``"generalized"`` or ``"anatomy"`` — the only formats with
+            a per-shard group structure to merge.
+        group_rows: Per group, member row indices *local to the shard*.
+        boxes: Per-group QI boxes (generalized only, else ``None``).
+        sa_counts: ``(G, m)`` stacked per-group SA histograms.
+        l: Anatomy's ℓ (``None`` for generalized).
+        params: The engine's resolved parameters.
+        stage_seconds / elapsed_seconds: The shard run's timings.
+    """
+
+    kind: str
+    group_rows: list
+    boxes: "list | None"
+    sa_counts: np.ndarray
+    l: "int | None"
+    params: dict
+    stage_seconds: dict = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.group_rows)
+
+
+def prepare_shard(
+    table: Table, keys: np.ndarray, sa_distribution: np.ndarray
+) -> PreparedTable:
+    """Shard preprocessing with the *anonymization-time* ``P`` pre-seeded.
+
+    β-likeness (and every other model here) is declared against the
+    overall distribution ``P`` of the full table; a shard that
+    bucketized against its own local frequencies would certify against
+    the wrong adversary.  The caller therefore computes ``P`` once and
+    every shard prepares with it, so per-shard bucket partitions are
+    identical and the merged publication is measured — and bounded —
+    against the same ``P`` the single-table run uses.  (The versioned
+    refresh path passes the **baseline** table's ``P`` here, keeping
+    clean shards reusable across appends, while audits always measure
+    against the current table's true distribution.)
+    """
+    prepared = PreparedTable(table)
+    prepared._keys = keys
+    prepared._sa_distribution = sa_distribution
+    return prepared
+
+
+def run_shard(
+    algorithm: str,
+    table: Table,
+    *,
+    keys: np.ndarray,
+    sa_distribution: np.ndarray,
+    rng=None,
+    **params,
+) -> ShardPiece:
+    """Anonymize one shard table; return its publication in compact form.
+
+    ``table`` holds the shard's rows only, ``keys`` their Hilbert keys
+    (global curve), ``sa_distribution`` the anonymization-time ``P`` —
+    see :func:`prepare_shard`.  Only group-based output formats can be
+    sharded; whole-table formats (``perturb``) are refused.
+    """
+    start = time.perf_counter()
+    result = engine_run(
+        algorithm,
+        table,
+        rng=rng,
+        shared=prepare_shard(table, keys, sa_distribution),
+        **params,
+    )
+    published = result.published
+    if isinstance(published, GeneralizedTable):
+        kind, l = "generalized", None
+        group_rows = [ec.rows for ec in published.classes]
+        boxes = [ec.box for ec in published.classes]
+        sa_counts = np.stack([ec.sa_counts for ec in published.classes])
+    elif isinstance(published, AnatomyTable):
+        kind, l = "anatomy", published.l
+        group_rows = [g.rows for g in published.groups]
+        boxes = None
+        sa_counts = np.stack([g.sa_counts for g in published.groups])
+    else:
+        raise TypeError(
+            f"algorithm {algorithm!r} publishes "
+            f"{type(published).__name__}, which has no per-shard group "
+            "structure to merge; run it unsharded (workers apply only "
+            "to group-based formats)"
+        )
+    return ShardPiece(
+        kind=kind,
+        group_rows=group_rows,
+        boxes=boxes,
+        sa_counts=sa_counts,
+        l=l,
+        params=result.params,
+        stage_seconds=result.stage_seconds,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def lift_groups(rows: np.ndarray, piece: ShardPiece) -> list:
+    """A shard piece's groups with member rows lifted to global ids.
+
+    ``rows`` is the shard's global row array; group order is preserved.
+    The returned records are exactly what whole-table publication
+    constructors take, so lifted groups from several shards concatenate
+    directly (see :func:`assemble_publication`).
+    """
+    if piece.kind == "generalized":
+        return [
+            EquivalenceClass(
+                rows=rows[local],
+                box=piece.boxes[g],
+                sa_counts=piece.sa_counts[g],
+            )
+            for g, local in enumerate(piece.group_rows)
+        ]
+    if piece.kind == "anatomy":
+        return [
+            AnatomyGroup(rows=rows[local], sa_counts=piece.sa_counts[g])
+            for g, local in enumerate(piece.group_rows)
+        ]
+    raise ValueError(f"unknown shard publication kind {piece.kind!r}")
+
+
+def assemble_publication(
+    table: Table, kind: str, groups, l: "int | None" = None
+):
+    """A whole-table publication from already-lifted groups.
+
+    The publication constructors re-validate the exact row partition —
+    the merge's cheapest full correctness check — so a stale or
+    mis-lifted group set fails loudly here rather than corrupting an
+    audit downstream.
+    """
+    if kind == "generalized":
+        return GeneralizedTable(table, list(groups))
+    if kind == "anatomy":
+        return AnatomyTable(source=table, groups=tuple(groups), l=l)
+    raise ValueError(f"unknown shard publication kind {kind!r}")
+
+
+def merge_pieces(
+    table: Table, shard_rows, pieces: "list[ShardPiece]"
+):
+    """Concatenate shard pieces into a whole-table publication.
+
+    Shard-local member rows lift to global row ids through each shard's
+    ``rows`` array; group order is shard order (each shard's internal
+    group order preserved), which is also ascending Hilbert-range order
+    — the same locality the single-table materialization sweep produces.
+    """
+    kinds = {piece.kind for piece in pieces}
+    if len(kinds) != 1:
+        raise ValueError(f"cannot merge mixed shard kinds {sorted(kinds)}")
+    groups = []
+    for rows, piece in zip(shard_rows, pieces):
+        groups.extend(lift_groups(rows, piece))
+    return assemble_publication(
+        table, pieces[0].kind, groups, l=pieces[0].l
+    )

@@ -191,6 +191,8 @@ def load_csv_table(
     qi_names: list[str],
     sensitive_name: str,
     numerical: list[str] | None = None,
+    *,
+    schema: "Schema | None" = None,
 ):
     """Load raw microdata from a CSV file into a :class:`Table`.
 
@@ -201,6 +203,14 @@ def load_csv_table(
         numerical: QI columns to parse as integers; the rest become
             categorical attributes under flat (height-1) hierarchies
             built from their observed values, sorted for determinism.
+        schema: Encode against this existing schema instead of deriving
+            one from the observed values.  This is the **append path**:
+            a delta CSV loaded on its own would get domains and label
+            codes of its *own* observed values, silently incomparable
+            with the base table's; encoding against the base schema
+            keeps codes aligned and rejects out-of-domain rows loudly.
+            ``qi_names``/``sensitive_name`` must match the schema's
+            column names (and order, for the QI).
 
     Returns:
         A :class:`repro.dataset.table.Table`.  Intended for the CLI and
@@ -218,6 +228,11 @@ def load_csv_table(
     missing = [c for c in qi_names + [sensitive_name] if c not in rows[0]]
     if missing:
         raise ValueError(f"{path}: missing columns {missing}")
+
+    if schema is not None:
+        return _encode_against_schema(
+            path, rows, qi_names, sensitive_name, schema
+        )
 
     attributes = []
     columns: list[np.ndarray] = []
@@ -243,6 +258,55 @@ def load_csv_table(
         dtype=np.int64,
     )
     schema = Schema(attributes, sensitive)
+    return Table(schema, np.column_stack(columns), sa)
+
+
+def _encode_against_schema(
+    path, rows: "list[dict]", qi_names, sensitive_name, schema: Schema
+):
+    """Encode CSV dict rows under an already-fixed schema (append path)."""
+    from .dataset.table import Table
+
+    expected = [attr.name for attr in schema.qi]
+    if list(qi_names) != expected:
+        raise ValueError(
+            f"{path}: QI columns {list(qi_names)} do not match the base "
+            f"schema's {expected}"
+        )
+    if sensitive_name != schema.sensitive.name:
+        raise ValueError(
+            f"{path}: sensitive column {sensitive_name!r} does not match "
+            f"the base schema's {schema.sensitive.name!r}"
+        )
+    columns: list[np.ndarray] = []
+    for j, attr in enumerate(schema.qi):
+        raw = [row[attr.name] for row in rows]
+        if attr.kind is AttributeKind.CATEGORICAL:
+            try:
+                codes = [attr.hierarchy.rank_of(v) for v in raw]
+            except KeyError as exc:
+                raise ValueError(
+                    f"{path}: column {attr.name}: label {exc.args[0]!r} "
+                    "is not in the base schema's hierarchy"
+                ) from None
+            columns.append(np.array(codes, dtype=np.int64))
+        else:
+            columns.append(np.array([int(v) for v in raw], dtype=np.int64))
+    known = set(schema.sensitive.values)
+    unknown = sorted(
+        {row[sensitive_name] for row in rows} - known
+    )
+    if unknown:
+        raise ValueError(
+            f"{path}: sensitive values {unknown} are not in the base "
+            "schema's domain"
+        )
+    sa = np.array(
+        [schema.sensitive.code_of(row[sensitive_name]) for row in rows],
+        dtype=np.int64,
+    )
+    # The Table constructor validates numerical domains, so a delta row
+    # outside the base domain fails here rather than corrupting keys.
     return Table(schema, np.column_stack(columns), sa)
 
 

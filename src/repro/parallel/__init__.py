@@ -33,13 +33,14 @@ from .executor import (
     ShardedSession,
     sweep_jobs,
 )
-from .plan import Shard, ShardPlan
+from .plan import Shard, ShardDiff, ShardPlan
 from .shm import ArrayHandle, ShmArrays, TableHandle, load_array, load_table
 
 __all__ = [
     "ArrayHandle",
     "ProcessEvaluator",
     "Shard",
+    "ShardDiff",
     "ShardPlan",
     "ShardedRun",
     "ShardedSession",

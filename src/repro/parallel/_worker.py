@@ -18,8 +18,6 @@ scheduled.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..anonymity.anatomy import AnatomyGroup, AnatomyTable
@@ -29,11 +27,12 @@ from ..audit.metrics import (
     per_class_gains,
     per_class_log_ratios,
 )
-from ..audit.view import PublicationView
+from ..audit.view import synthesize_view
 from ..dataset.published import EquivalenceClass, GeneralizedTable
 from ..dataset.table import Table
 from ..engine.batch import PreparedTable
 from ..engine.registry import run as engine_run
+from ..engine.shard import ShardPiece, prepare_shard, run_shard
 from ..io import publication_from_payload
 from ..query.evaluate import answer_precise_batch, batch_estimates
 from ..query.workload import EncodedWorkload
@@ -91,21 +90,11 @@ def _resolve_shard(source, rows, shard_index):
     return table, keys
 
 
-def _prepared(table: Table, keys, probs) -> PreparedTable:
-    """Shard preprocessing with the *global* SA distribution pre-seeded.
-
-    β-likeness (and every other model here) is declared against the
-    overall distribution ``P`` of the full table; a shard that
-    bucketized against its own local frequencies would certify against
-    the wrong adversary.  The parent therefore computes ``P`` once and
-    every shard prepares with it, so per-shard bucket partitions are
-    identical and the merged publication is measured — and bounded —
-    against the same ``P`` the single-process run uses.
-    """
-    prepared = PreparedTable(table)
-    prepared._keys = keys
-    prepared._sa_distribution = probs
-    return prepared
+# Shard preprocessing with the anonymization-time ``P`` pre-seeded; the
+# logic (and its adversary-model rationale) lives in the engine's
+# shard-scoped entry points now — this alias keeps the worker's historic
+# name importable.
+_prepared = prepare_shard
 
 
 # ----------------------------------------------------------------------
@@ -121,53 +110,26 @@ def shard_anonymize(
     params: dict,
     seed_seq,
     probs,
-) -> dict:
+) -> ShardPiece:
     """Run one shard's pipeline; return the publication in compact form.
 
-    The result ships row *indices local to the shard* plus the per-EC
-    boxes and SA histograms — never the shard table itself — so the
-    transfer back to the parent is a few percent of the table size.
+    A thin transport adapter over :func:`repro.engine.shard.run_shard`:
+    resolve the shard table from the active transport, spawn the shard's
+    generator, run.  The piece ships row *indices local to the shard*
+    plus the per-EC boxes and SA histograms — never the shard table
+    itself — so the transfer back to the parent is a few percent of the
+    table size.
     """
     table, keys = _resolve_shard(source, rows, shard_index)
     rng = np.random.default_rng(seed_seq) if seed_seq is not None else None
-    start = time.perf_counter()
-    result = engine_run(
+    return run_shard(
         algorithm,
         table,
+        keys=keys,
+        sa_distribution=probs,
         rng=rng,
-        shared=_prepared(table, keys, probs),
         **params,
     )
-    published = result.published
-    out = {
-        "shard": shard_index,
-        "stage_seconds": result.stage_seconds,
-        "elapsed_seconds": time.perf_counter() - start,
-        "params": result.params,
-    }
-    if isinstance(published, GeneralizedTable):
-        out["kind"] = "generalized"
-        out["group_rows"] = [ec.rows for ec in published.classes]
-        out["boxes"] = [ec.box for ec in published.classes]
-        out["sa_counts"] = np.stack(
-            [ec.sa_counts for ec in published.classes]
-        )
-    elif isinstance(published, AnatomyTable):
-        out["kind"] = "anatomy"
-        out["group_rows"] = [g.rows for g in published.groups]
-        out["boxes"] = None
-        out["sa_counts"] = np.stack(
-            [g.sa_counts for g in published.groups]
-        )
-        out["l"] = published.l
-    else:
-        raise TypeError(
-            f"algorithm {algorithm!r} publishes "
-            f"{type(published).__name__}, which has no per-shard group "
-            "structure to merge; run it unsharded (workers apply only "
-            "to group-based formats)"
-        )
-    return out
 
 
 # ----------------------------------------------------------------------
@@ -212,37 +174,6 @@ def shard_audit(
         "log_ratios": per_class_log_ratios(view),
         "distinct": per_class_distinct(view),
     }
-
-
-def synthesize_view(
-    source,
-    class_of: np.ndarray,
-    counts: np.ndarray,
-    *,
-    boxes=None,
-    global_distribution=None,
-    memo: dict | None = None,
-) -> PublicationView:
-    """Build a :class:`PublicationView` from already-known arrays.
-
-    ``PublicationView.__init__`` re-derives membership and histograms
-    from a publication object; here both already exist (worker-side
-    from the shard groups, parent-side from the shard merge), so the
-    view is assembled directly.  ``global_distribution`` overrides the
-    lazily computed overall ``P`` — the worker passes the full-table
-    distribution so shard metrics measure against the global adversary.
-    """
-    view = object.__new__(PublicationView)
-    view.source = source
-    view.n_groups = int(counts.shape[0])
-    view.class_of = class_of
-    view.counts = counts
-    view.sizes = counts.sum(axis=1)
-    view.boxes = boxes
-    view.memo = dict(memo) if memo else {}
-    if global_distribution is not None:
-        view.__dict__["global_distribution"] = global_distribution
-    return view
 
 
 # ----------------------------------------------------------------------

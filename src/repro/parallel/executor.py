@@ -19,7 +19,9 @@ enforces it.
 Semantics note: every shard prepares against the **global** SA
 distribution ``P``, so the merged publication is measured (and its
 β-likeness bounded) against the same adversary the single-table run
-uses — see :func:`repro.parallel._worker._prepared`.
+uses — see :func:`repro.engine.shard.prepare_shard`.  (A versioned
+refresh pins the *baseline* ``P`` via the ``sa_distribution`` override;
+audits still measure against the current table's true distribution.)
 """
 
 from __future__ import annotations
@@ -30,12 +32,13 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..audit.evaluate import AuditReport, _audit_publications
-from ..audit.view import PublicationView
-from ..anonymity.anatomy import AnatomyGroup, AnatomyTable
-from ..dataset.published import EquivalenceClass, GeneralizedTable
+from ..audit.view import PublicationView, merge_shard_views
+from ..anonymity.anatomy import AnatomyTable
+from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 from ..engine.batch import EngineJob, PreparedTable
 from ..engine.pipeline import STAGES, RunResult
+from ..engine.shard import merge_pieces
 from ..metrics.errors import ErrorProfile, error_profile
 from ..query.workload import CountQuery, EncodedWorkload
 from ..rng import spawn_seeds
@@ -44,12 +47,12 @@ from .plan import ShardPlan
 from .shm import ShmArrays
 
 
-def _merge_stage_seconds(pieces: "list[dict]") -> dict:
+def _merge_stage_seconds(pieces) -> dict:
     """Per-stage totals across shards, in canonical stage order."""
     merged: dict[str, float] = {}
     for name in STAGES:
-        total = [p["stage_seconds"][name] for p in pieces
-                 if name in p["stage_seconds"]]
+        total = [p.stage_seconds[name] for p in pieces
+                 if name in p.stage_seconds]
         if total:
             merged[name] = float(sum(total))
     return merged
@@ -67,7 +70,7 @@ class ShardedRun:
 
     def __init__(self, session: "ShardedSession", result: RunResult,
                  shard_groups: "list[list[np.ndarray]]",
-                 seed: "int | None" = None):
+                 seed: "int | None" = None, pieces=None):
         self.session = session
         self.result = result
         self.seed = seed
@@ -75,6 +78,10 @@ class ShardedRun:
         #: exact arrays the shard's pipeline produced, reused verbatim by
         #: sharded audit and evaluation so no stage re-derives membership.
         self._shard_groups = shard_groups
+        #: The raw :class:`repro.engine.shard.ShardPiece` records; the
+        #: versioned dataset layer snapshots them into per-shard cache
+        #: artifacts so later appends only recompute dirty shards.
+        self._pieces = pieces
         self._view: PublicationView | None = None
 
     # -- result passthroughs (AnonymizationRun-compatible) -------------
@@ -136,8 +143,13 @@ class ShardedRun:
             cache=self.session.cache,
         )
 
-    def publish(self, store, *, requirement, ordered_emd: bool = False):
-        """Certify and admit the merged publication to a store."""
+    def publish(self, store, *, requirement, ordered_emd: bool = False,
+                name: "str | None" = None, parent=None):
+        """Certify and admit the merged publication to a store.
+
+        ``name`` and ``parent`` thread version lineage into the store
+        manifest (see :meth:`repro.service.PublicationStore.put`).
+        """
         self.view()  # certification reuses the shard-merged audit view
         return store.put(
             self.published,
@@ -147,6 +159,8 @@ class ShardedRun:
             seed=self.seed,
             ordered_emd=ordered_emd,
             cache=self.session.cache,
+            name=name,
+            parent=parent,
         )
 
 
@@ -162,6 +176,16 @@ class ShardedSession:
             is the unsharded degenerate case).  May exceed ``workers``.
         cache: Optional :class:`repro.api.ArtifactCache` shared with a
             facade; a private one is created by default.
+        plan: Optional pre-built :class:`ShardPlan` over this table —
+            the incremental-refresh comparator passes the appended
+            (diffed) plan here so a cold run groups rows in exactly the
+            ranges the refresh reused.  Must cover the table's rows.
+        sa_distribution: Optional anonymization-time SA distribution
+            ``P`` override.  Shards *prepare* (bucketize) against this
+            vector, while audits and merged views keep measuring against
+            the table's true distribution; the versioned refresh path
+            pins the baseline table's ``P`` here so clean shards stay
+            byte-reusable across appends.
 
     Use as a context manager (or call :meth:`close`) when ``workers >
     1``: the pool and the shared-memory segments are released there.
@@ -174,6 +198,8 @@ class ShardedSession:
         workers: int = 1,
         shards: "int | None" = None,
         cache=None,
+        plan: "ShardPlan | None" = None,
+        sa_distribution=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -187,9 +213,22 @@ class ShardedSession:
         prepared = PreparedTable(table, cache=cache)
         self._keys = prepared.hilbert_keys()
         self._probs = prepared.sa_distribution()
-        self.plan = ShardPlan.build(
-            self._keys, shards if shards is not None else workers
+        self._anon_probs = (
+            np.asarray(sa_distribution, dtype=np.float64)
+            if sa_distribution is not None
+            else self._probs
         )
+        if plan is not None:
+            if plan.n_rows != table.n_rows:
+                raise ValueError(
+                    f"plan covers {plan.n_rows} rows but the table has "
+                    f"{table.n_rows}"
+                )
+            self.plan = plan
+        else:
+            self.plan = ShardPlan.build(
+                self._keys, shards if shards is not None else workers
+            )
         self._pool: ProcessPoolExecutor | None = None
         self._shm: ShmArrays | None = None
         self._handle = None
@@ -287,11 +326,16 @@ class ShardedSession:
         pieces = self._map(
             _worker.shard_anonymize,
             [
-                (algorithm, dict(params), seeds[i], self._probs)
+                (algorithm, dict(params), seeds[i], self._anon_probs)
                 for i in range(plan.n_shards)
             ],
         )
-        published = self._merge_publication(pieces)
+        # merge_pieces lifts shard-local rows to global ids; the
+        # publication constructor re-validates the exact row partition —
+        # the merge's cheapest full correctness check.
+        published = merge_pieces(
+            self.table, [shard.rows for shard in plan], pieces
+        )
         provenance = {
             "sharded": {
                 "n_shards": plan.n_shards,
@@ -302,8 +346,8 @@ class ShardedSession:
                         "n_rows": shard.n_rows,
                         "key_lo": shard.key_lo,
                         "key_hi": shard.key_hi,
-                        "stage_seconds": piece["stage_seconds"],
-                        "elapsed_seconds": piece["elapsed_seconds"],
+                        "stage_seconds": piece.stage_seconds,
+                        "elapsed_seconds": piece.elapsed_seconds,
                     }
                     for shard, piece in zip(plan, pieces)
                 ],
@@ -312,50 +356,14 @@ class ShardedSession:
         result = RunResult(
             algorithm=algorithm,
             published=published,
-            params=pieces[0]["params"],
+            params=pieces[0].params,
             stage_seconds=_merge_stage_seconds(pieces),
             provenance=provenance,
             elapsed_seconds=time.perf_counter() - start,
         )
         return ShardedRun(
-            self, result, [p["group_rows"] for p in pieces], seed=seed
-        )
-
-    def _merge_publication(self, pieces: "list[dict]"):
-        """Concatenate shard publications in ascending key order.
-
-        Shard-local member rows lift to global row ids through the
-        shard's ``rows`` array; group order is shard order (each shard's
-        internal group order preserved), which is also ascending
-        Hilbert-range order — the same locality the single-table
-        materialization sweep produces.
-        """
-        kind = pieces[0]["kind"]
-        if kind == "generalized":
-            classes = []
-            for shard, piece in zip(self.plan, pieces):
-                for g, local in enumerate(piece["group_rows"]):
-                    classes.append(
-                        EquivalenceClass(
-                            rows=shard.rows[local],
-                            box=piece["boxes"][g],
-                            sa_counts=piece["sa_counts"][g],
-                        )
-                    )
-            # The constructor re-validates the exact row partition — the
-            # merge's cheapest full correctness check.
-            return GeneralizedTable(self.table, classes)
-        groups = []
-        for shard, piece in zip(self.plan, pieces):
-            for g, local in enumerate(piece["group_rows"]):
-                groups.append(
-                    AnatomyGroup(
-                        rows=shard.rows[local],
-                        sa_counts=piece["sa_counts"][g],
-                    )
-                )
-        return AnatomyTable(
-            source=self.table, groups=tuple(groups), l=pieces[0]["l"]
+            self, result, [p.group_rows for p in pieces], seed=seed,
+            pieces=pieces,
         )
 
     # ------------------------------------------------------------------
@@ -382,13 +390,6 @@ class ShardedSession:
                 for i in range(self.plan.n_shards)
             ],
         )
-        n = self.table.n_rows
-        class_of = np.full(n, -1, dtype=np.int64)
-        offset = 0
-        for shard, res in zip(self.plan, results):
-            class_of[shard.rows] = res["class_of"] + offset
-            offset += res["counts"].shape[0]
-        counts = np.vstack([res["counts"] for res in results])
         memo = {
             "gains": np.concatenate([r["gains"] for r in results]),
             ("emd", ordered_emd): np.concatenate(
@@ -399,10 +400,11 @@ class ShardedSession:
             ),
             "distinct": np.concatenate([r["distinct"] for r in results]),
         }
-        view = _worker.synthesize_view(
+        view = merge_shard_views(
             self.table,
-            class_of,
-            counts,
+            [shard.rows for shard in self.plan],
+            [res["class_of"] for res in results],
+            [res["counts"] for res in results],
             boxes=PublicationView._extract_boxes(run.published),
             global_distribution=self._probs,
             memo=memo,

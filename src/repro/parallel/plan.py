@@ -121,3 +121,89 @@ class ShardPlan:
         for a, b in zip(self.shards, self.shards[1:]):
             if a.key_hi >= b.key_lo:
                 raise AssertionError("shard key intervals overlap")
+
+    def diff(self, old_keys: np.ndarray, new_keys: np.ndarray) -> "ShardDiff":
+        """Extend the plan with appended rows; mark the shards they touch.
+
+        The incremental-republication contract: appended rows join the
+        shard whose key interval they fall into (keys in the gap between
+        two shards, or beyond the last interval, join the next/last shard
+        — intervals only ever widen, never reorder), the **shard count
+        never changes** (so per-shard seed spawning stays aligned with
+        the baseline run), and every shard that received at least one
+        row is *dirty* — its cached publication slice is stale — while
+        untouched shards keep their exact row arrays, by identity.
+
+        Args:
+            old_keys: Hilbert keys of the rows this plan covers (length
+                must equal ``n_rows``); appended rows take global ids
+                ``n_rows, n_rows + 1, ...`` in append order.
+            new_keys: Hilbert keys of the appended rows (same curve —
+                the schema, hence the key grid, is append-invariant).
+
+        Returns:
+            A :class:`ShardDiff` whose plan covers the concatenated
+            table and whose ``dirty`` lists the touched shard indices.
+        """
+        old_keys = np.asarray(old_keys)
+        new_keys = np.asarray(new_keys)
+        if int(old_keys.shape[0]) != self.n_rows:
+            raise ValueError(
+                f"plan covers {self.n_rows} rows but old_keys has "
+                f"{old_keys.shape[0]}"
+            )
+        n_old, n_new = self.n_rows, int(new_keys.shape[0])
+        if n_new == 0:
+            return ShardDiff(plan=self, dirty=())
+        # First shard whose key_hi reaches the new key; clip keys beyond
+        # the last interval into the last shard.  side="left" keeps ties
+        # with an existing key_hi inside that shard, matching build()'s
+        # equal-keys-never-split rule.
+        key_his = np.array([s.key_hi for s in self.shards], dtype=np.int64)
+        target = np.searchsorted(key_his, new_keys, side="left")
+        target = np.minimum(target, len(self.shards) - 1)
+        shards = []
+        dirty = []
+        for i, shard in enumerate(self.shards):
+            mine = np.nonzero(target == i)[0]
+            if mine.shape[0] == 0:
+                shards.append(shard)  # identical object: provably clean
+                continue
+            dirty.append(i)
+            rows = np.sort(
+                np.concatenate([shard.rows, n_old + mine.astype(np.int64)])
+            )
+            keys_mine = new_keys[mine]
+            shards.append(
+                Shard(
+                    index=i,
+                    rows=rows,
+                    key_lo=min(shard.key_lo, int(keys_mine.min())),
+                    key_hi=max(shard.key_hi, int(keys_mine.max())),
+                )
+            )
+        plan = ShardPlan(n_rows=n_old + n_new, shards=tuple(shards))
+        return ShardDiff(plan=plan, dirty=tuple(dirty))
+
+
+@dataclass(frozen=True)
+class ShardDiff:
+    """The result of :meth:`ShardPlan.diff`: the widened plan plus which
+    shards an append invalidated.
+
+    Attributes:
+        plan: Plan over the concatenated table; untouched shards are the
+            *same objects* as in the old plan.
+        dirty: Ascending indices of shards that received appended rows.
+    """
+
+    plan: ShardPlan
+    dirty: tuple[int, ...]
+
+    @property
+    def clean(self) -> tuple[int, ...]:
+        """Indices of shards the append did not touch."""
+        doomed = set(self.dirty)
+        return tuple(
+            i for i in range(self.plan.n_shards) if i not in doomed
+        )

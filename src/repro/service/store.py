@@ -275,7 +275,13 @@ def _json_safe(value):
 
 @dataclass(frozen=True)
 class PublicationRecord:
-    """One admitted publication, as described by its manifest."""
+    """One admitted publication, as described by its manifest.
+
+    ``name`` and ``parent_id`` carry version lineage: successive
+    publications of one logical dataset share a ``name``, and each
+    incremental republication records the id of the version it was
+    refreshed from — :meth:`PublicationStore.versions` walks the chain.
+    """
 
     pub_id: str
     kind: str
@@ -286,6 +292,8 @@ class PublicationRecord:
     audit: dict
     n_rows: int
     n_groups: int | None
+    name: str | None = None
+    parent_id: str | None = None
 
     @classmethod
     def from_manifest(cls, manifest: dict) -> "PublicationRecord":
@@ -299,6 +307,8 @@ class PublicationRecord:
             audit=manifest["audit"],
             n_rows=manifest["n_rows"],
             n_groups=manifest.get("n_groups"),
+            name=manifest.get("name"),
+            parent_id=manifest.get("parent"),
         )
 
 
@@ -331,6 +341,8 @@ class PublicationStore:
         seed: int | None = None,
         ordered_emd: bool = False,
         cache=None,
+        name: str | None = None,
+        parent: "str | PublicationRecord | None" = None,
     ) -> PublicationRecord:
         """Certify and persist a publication; returns its record.
 
@@ -344,9 +356,20 @@ class PublicationStore:
         ``cache`` (default: the store's) lets the admission audit reuse
         a facade's content-keyed publication view instead of rebuilding
         it.
+
+        ``name`` registers the publication as a version of a named
+        logical dataset and ``parent`` (an admitted id, unique prefix,
+        or record) links it to the version it was refreshed from; both
+        land in the manifest and surface through :meth:`versions` /
+        :meth:`latest`.  A dangling parent is refused up front — lineage
+        is only useful if every recorded edge resolves.
         """
         if cache is None:
             cache = self.cache
+        if isinstance(parent, PublicationRecord):
+            parent = parent.pub_id
+        if parent is not None:
+            parent = self.resolve(parent)
         audit = certify_publication(
             published, requirement, ordered_emd=ordered_emd, cache=cache
         )
@@ -378,6 +401,8 @@ class PublicationStore:
             "audit": _json_safe(audit),
             "n_rows": published.source.n_rows,
             "n_groups": n_groups,
+            "name": name,
+            "parent": parent,
         }
         directory.mkdir(parents=True, exist_ok=True)
         # Both files land via temp-name + rename, so whatever exists is
@@ -426,6 +451,39 @@ class PublicationStore:
 
     def records(self) -> list[PublicationRecord]:
         return [self.record(i) for i in self.ids()]
+
+    def versions(self, name: str) -> "list[PublicationRecord]":
+        """All records published under ``name``, lineage-ordered.
+
+        Every parent precedes its children; roots (no parent, or a
+        parent outside the named set) come first.  The expected shape is
+        a linear append→refresh chain, but branches are handled
+        deterministically: siblings order by id, and the walk is
+        depth-first, so ``versions(...)[-1]`` — what :meth:`latest`
+        returns — is the deepest (most-refreshed) version.
+        """
+        records = [r for r in self.records() if r.name == name]
+        ids = {r.pub_id for r in records}
+        children: dict = {}
+        for record in sorted(records, key=lambda r: r.pub_id):
+            anchor = (
+                record.parent_id if record.parent_id in ids else None
+            )
+            children.setdefault(anchor, []).append(record)
+        ordered: list[PublicationRecord] = []
+        stack = list(reversed(children.get(None, [])))
+        while stack:
+            record = stack.pop()
+            ordered.append(record)
+            stack.extend(reversed(children.get(record.pub_id, [])))
+        return ordered
+
+    def latest(self, name: str) -> PublicationRecord:
+        """The most-refreshed version published under ``name``."""
+        chain = self.versions(name)
+        if not chain:
+            raise KeyError(f"no publications named {name!r}")
+        return chain[-1]
 
     def get(self, pub_id: str):
         """Load a publication back into its answerable object form."""

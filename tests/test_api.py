@@ -392,3 +392,199 @@ class TestDeprecationShims:
         report = run.audit()
         assert report.privacy == legacy_audit.privacy
         assert report.risk == legacy_audit.risk
+
+
+# ----------------------------------------------------------------------
+# Versioned datasets: append, dirty-shard invalidation, incremental
+# refresh (PR 7 tentpole)
+# ----------------------------------------------------------------------
+
+
+def _clustered_delta(table, plan, shard_index, k, seed):
+    """k rows whose QI vectors come from one shard's key range."""
+    rng = np.random.default_rng(seed)
+    pick = rng.choice(plan.shards[shard_index].rows, size=k, replace=True)
+    sa = rng.choice(
+        table.schema.sensitive.cardinality,
+        size=k,
+        p=table.sa_distribution(),
+    )
+    from repro.dataset.table import Table
+
+    return Table(table.schema, table.qi[pick], sa)
+
+
+class TestVersionedDataset:
+    SHARDS = 6
+
+    @pytest.fixture()
+    def vds(self):
+        from repro.dataset.synthetic import synthetic
+
+        table = synthetic(
+            4_000, qi_dims=3, sa_cardinality=12, skew=0.8, seed=3,
+            correlation=0.0,
+        )
+        ds = Dataset(table)
+        ds.anonymize("burel", beta=2.0, rng=17, shards=self.SHARDS)
+        yield ds
+        ds.close_parallel()
+
+    def test_baseline_tracks_state(self, vds):
+        state = vds.version_state()
+        assert state is not None
+        assert state.version == 0 and not state.dirty
+        assert state.plan.n_shards == self.SHARDS
+        keys = [k for k in vds.cache.keys() if k[0] == "shard_run"]
+        assert len(keys) == self.SHARDS
+        assert all(k == ("shard_run", state.token, i)
+                   for i, k in enumerate(sorted(keys, key=lambda k: k[2])))
+
+    def test_append_evicts_dirty_retains_clean(self, vds):
+        state = vds.version_state()
+        delta = _clustered_delta(vds.table, state.plan, 2, 150, seed=5)
+        added = vds.append(delta)
+        assert added == 150
+        assert state.dirty == {2}
+        # Exactly the dirty shard's artifact is gone...
+        assert state.shard_key(2) not in vds.cache
+        # ...and every clean shard's artifact is retained.
+        for i in range(self.SHARDS):
+            if i != 2:
+                assert state.shard_key(i) in vds.cache
+
+    def test_append_seeds_grown_table_artifacts(self, vds):
+        old_keys = vds.hilbert_keys()
+        delta = _clustered_delta(vds.table, vds.version_state().plan, 1,
+                                 80, seed=6)
+        vds.append(delta)
+        new_key = vds.content_key
+        # Seeded, not recomputed: present in the cache before any use...
+        assert ("hilbert_keys", new_key) in vds.cache
+        assert ("sa_distribution", new_key) in vds.cache
+        # ...and exactly equal to a from-scratch computation.
+        from repro.core.retrieve import qi_space_keys
+
+        np.testing.assert_array_equal(
+            vds.hilbert_keys(), qi_space_keys(vds.table)
+        )
+        np.testing.assert_array_equal(vds.hilbert_keys()[: len(old_keys)],
+                                      old_keys)
+        np.testing.assert_array_equal(
+            vds.sa_distribution(), vds.table.sa_distribution()
+        )
+
+    def test_refresh_hits_clean_entries(self, vds):
+        state = vds.version_state()
+        delta = _clustered_delta(vds.table, state.plan, 4, 120, seed=7)
+        vds.append(delta)
+        dirty = set(state.dirty)
+        clean = set(range(self.SHARDS)) - dirty
+        before = vds.cache.stats()
+        run = vds.refresh()
+        after = vds.cache.stats()
+        # Every clean shard's artifact was *hit* (get_or_build), not
+        # merely present.
+        assert after["hits"] - before["hits"] >= len(clean)
+        assert set(run.reused) == clean
+        assert set(run.recomputed) == dirty
+        assert run.version == 1 and not state.dirty
+        inc = run.provenance["incremental"]
+        assert inc["token"] == state.token
+        assert set(inc["reused"]) == clean
+
+    def test_refresh_byte_identical_to_cold(self, vds):
+        from repro.parallel import ShardedSession
+
+        state = vds.version_state()
+        pinned = state.sa_distribution.copy()
+        delta = _clustered_delta(vds.table, state.plan, 3, 100, seed=8)
+        vds.append(delta)
+        run = vds.refresh()
+        cold = ShardedSession(
+            vds.table, workers=1, plan=state.plan, sa_distribution=pinned
+        ).anonymize("burel", beta=2.0, seed=17)
+        assert publication_digest(run.published) == publication_digest(
+            cold.published
+        )
+        warm_report, cold_report = run.audit(), cold.audit()
+        assert warm_report.privacy == cold_report.privacy
+        assert warm_report.risk == cold_report.risk
+
+    def test_second_round_stays_identical(self, vds):
+        from repro.parallel import ShardedSession
+
+        state = vds.version_state()
+        pinned = state.sa_distribution.copy()
+        for round_seed, shard in ((9, 0), (10, 5)):
+            delta = _clustered_delta(
+                vds.table, state.plan, shard, 90, seed=round_seed
+            )
+            vds.append(delta)
+            run = vds.refresh()
+        assert run.version == 2
+        cold = ShardedSession(
+            vds.table, workers=1, plan=state.plan, sa_distribution=pinned
+        ).anonymize("burel", beta=2.0, seed=17)
+        assert publication_digest(run.published) == publication_digest(
+            cold.published
+        )
+
+    def test_refresh_audits_current_distribution(self, vds):
+        state = vds.version_state()
+        delta = _clustered_delta(vds.table, state.plan, 2, 200, seed=11)
+        vds.append(delta)
+        run = vds.refresh()
+        view = run.view()
+        # The audit view measures the *grown* table's true P, not the
+        # pinned anonymization-time baseline.
+        np.testing.assert_array_equal(
+            view.global_distribution, vds.table.sa_distribution()
+        )
+        assert not np.array_equal(
+            view.global_distribution, state.sa_distribution
+        )
+
+    def test_append_accepts_array_pair(self, vds):
+        state = vds.version_state()
+        rows = state.plan.shards[1].rows[:40]
+        added = vds.append((vds.table.qi[rows], vds.table.sa[rows]))
+        assert added == 40
+        assert vds.n_rows == 4_040
+
+    def test_empty_append_is_noop(self, vds):
+        state = vds.version_state()
+        added = vds.append(
+            (np.empty((0, 3), dtype=np.int64), np.empty(0, dtype=np.int64))
+        )
+        assert added == 0
+        assert not state.dirty and vds.n_rows == 4_000
+
+    def test_refresh_without_baseline_raises(self):
+        ds = Dataset.from_census(500, seed=1)
+        with pytest.raises(RuntimeError, match="tracked baseline"):
+            ds.refresh()
+
+    def test_context_manager_closes_pools(self):
+        from repro.dataset.synthetic import synthetic
+
+        table = synthetic(
+            2_000, qi_dims=3, sa_cardinality=12, skew=0.8, seed=3,
+            correlation=0.0,
+        )
+        with Dataset(table) as ds:
+            ds.anonymize("burel", beta=2.0, rng=1, shards=3)
+            assert ds._sharded
+        assert not ds._sharded
+
+    def test_new_baseline_drops_previous_lineage(self, vds):
+        state = vds.version_state()
+        vds.anonymize("burel", beta=3.0, rng=17, shards=self.SHARDS)
+        fresh = vds.version_state()
+        assert fresh.token != state.token
+        assert all(
+            state.shard_key(i) not in vds.cache for i in range(self.SHARDS)
+        )
+        assert all(
+            fresh.shard_key(i) in vds.cache for i in range(self.SHARDS)
+        )

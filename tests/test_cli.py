@@ -136,3 +136,91 @@ class TestCli:
             )
             outs.append(read_csv_rows(out))
         assert outs[0] == outs[1]
+
+
+def _write_table_csv(table, path):
+    labels = table.schema.sensitive.values
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([attr.name for attr in table.schema.qi] + ["sa"])
+        for i in range(table.n_rows):
+            writer.writerow(
+                [int(v) for v in table.qi[i]] + [labels[int(table.sa[i])]]
+            )
+
+
+class TestAppendCli:
+    def test_append_end_to_end(self, tmp_path, capsys):
+        from repro.dataset.synthetic import synthetic
+        from repro.service import PublicationStore
+
+        table = synthetic(
+            3_000, qi_dims=3, sa_cardinality=8, skew=0.8, seed=3,
+            correlation=0.0,
+        )
+        base = tmp_path / "base.csv"
+        _write_table_csv(table, base)
+        # Delta rows sampled from the base so every value stays inside
+        # the domains the CSV loader infers from the base file.
+        rng = np.random.default_rng(11)
+        pick = rng.choice(table.n_rows, size=150, replace=True)
+        delta_table = type(table)(table.schema, table.qi[pick], table.sa[pick])
+        delta = tmp_path / "delta.csv"
+        _write_table_csv(delta_table, delta)
+
+        store_dir = tmp_path / "store"
+        code = run(
+            [
+                "append", str(base), str(delta),
+                "--store", str(store_dir),
+                "--name", "syn",
+                "--qi", "q0,q1,q2",
+                "--numerical", "q0,q1,q2",
+                "--sensitive", "sa",
+                "--beta", "2",
+                "--seed", "17",
+                "--shards", "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0, captured
+        assert "appended 150 tuples" in captured
+        assert "lineage 'syn':" in captured
+
+        # The lineage round-trips through a fresh store handle.
+        store = PublicationStore(store_dir)
+        records = store.versions("syn")
+        assert len(records) == 2
+        assert records[0].parent_id is None
+        assert records[1].parent_id == records[0].pub_id
+        assert store.latest("syn").pub_id == records[1].pub_id
+        assert records[1].n_rows == 3_150
+
+    def test_append_refuses_uncertifiable_contract(self, tmp_path, capsys):
+        from repro.dataset.synthetic import synthetic
+
+        table = synthetic(
+            2_000, qi_dims=2, sa_cardinality=6, skew=0.8, seed=4,
+            correlation=0.0,
+        )
+        base = tmp_path / "base.csv"
+        _write_table_csv(table, base)
+        delta = tmp_path / "delta.csv"
+        _write_table_csv(
+            type(table)(table.schema, table.qi[:50], table.sa[:50]), delta
+        )
+        code = run(
+            [
+                "append", str(base), str(delta),
+                "--store", str(tmp_path / "store"),
+                "--qi", "q0,q1",
+                "--numerical", "q0,q1",
+                "--sensitive", "sa",
+                "--beta", "2",
+                "--seed", "17",
+                "--shards", "2",
+                "--require-beta", "0.001",
+            ]
+        )
+        assert code == 1
+        assert "refused" in capsys.readouterr().err

@@ -161,6 +161,79 @@ class TestShardPlan:
             ShardPlan.build(keys, 0)
 
 
+class TestShardDiff:
+    """ShardPlan.diff: appended keys route to shards, clean shards keep
+    their row arrays by identity (the incremental-refresh contract)."""
+
+    def _plan(self, table):
+        return ShardPlan.build(qi_space_keys(table), 5), qi_space_keys(table)
+
+    def test_routes_to_owning_shard_only(self, table):
+        plan, keys = self._plan(table)
+        target = plan.shards[2]
+        new_keys = keys[target.rows[:7]]  # keys already inside shard 2
+        diff = plan.diff(keys, new_keys)
+        assert diff.dirty == (2,)
+        assert set(diff.clean) == {0, 1, 3, 4}
+        assert diff.plan.n_rows == plan.n_rows + 7
+        assert diff.plan.n_shards == plan.n_shards
+
+    def test_clean_shards_kept_by_identity(self, table):
+        plan, keys = self._plan(table)
+        new_keys = keys[plan.shards[0].rows[:3]]
+        diff = plan.diff(keys, new_keys)
+        for i in diff.clean:
+            assert diff.plan.shards[i] is plan.shards[i]
+
+    def test_dirty_shard_gains_sorted_global_rows(self, table):
+        plan, keys = self._plan(table)
+        new_keys = keys[plan.shards[3].rows[:4]]
+        diff = plan.diff(keys, new_keys)
+        grown = diff.plan.shards[3]
+        assert grown.n_rows == plan.shards[3].n_rows + 4
+        assert np.all(np.diff(grown.rows) > 0)
+        # the appended rows carry post-concat indices
+        expected = set(plan.shards[3].rows) | set(
+            plan.n_rows + np.arange(4)
+        )
+        assert set(grown.rows) == expected
+        diff.plan.validate()
+
+    def test_gap_and_beyond_last_keys(self, table):
+        plan, keys = self._plan(table)
+        beyond = np.array([plan.shards[-1].key_hi + 10], dtype=np.int64)
+        diff = plan.diff(keys, beyond)
+        assert diff.dirty == (plan.n_shards - 1,)
+        assert diff.plan.shards[-1].key_hi == beyond[0]
+        before = np.array([plan.shards[0].key_lo - 1], dtype=np.int64)
+        if before[0] >= 0:
+            diff0 = plan.diff(keys, before)
+            assert diff0.dirty == (0,)
+            assert diff0.plan.shards[0].key_lo == before[0]
+
+    def test_empty_delta_is_identity(self, table):
+        plan, keys = self._plan(table)
+        diff = plan.diff(keys, np.array([], dtype=np.int64))
+        assert diff.dirty == ()
+        assert diff.plan is plan
+
+    def test_row_count_mismatch_rejected(self, table):
+        plan, keys = self._plan(table)
+        with pytest.raises(ValueError):
+            plan.diff(keys[:-1], keys[:2])
+
+    def test_chained_diffs_partition_all_rows(self, table):
+        plan, keys = self._plan(table)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            new_keys = rng.choice(keys, size=11)
+            diff = plan.diff(keys, new_keys)
+            plan = diff.plan
+            keys = np.concatenate([keys, new_keys])
+            plan.validate()
+        assert plan.n_rows == len(keys)
+
+
 # ----------------------------------------------------------------------
 # Picklability of every cross-process payload (satellite 3)
 # ----------------------------------------------------------------------

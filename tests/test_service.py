@@ -578,3 +578,113 @@ class TestServiceCli:
         assert "stages:" not in capsys.readouterr().out
         assert run(args + ["--verbose"]) == 0
         assert "stages:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Version lineage (PR 7): name/parent manifests, versions(), latest()
+# ----------------------------------------------------------------------
+
+
+class TestVersionLineage:
+    def test_records_carry_name_and_parent(self, store, publications,
+                                           requirements):
+        root = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+            name="census",
+        )
+        child = store.put(
+            publications["anatomy"],
+            requirement=requirements["anatomy"],
+            name="census",
+            parent=root,
+        )
+        assert root.name == child.name == "census"
+        assert root.parent_id is None
+        assert child.parent_id == root.pub_id
+
+    def test_lineage_survives_reopen(self, tmp_path, publications,
+                                     requirements):
+        root_dir = tmp_path / "lineage"
+        store = PublicationStore(root_dir)
+        root = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+            name="census",
+        )
+        child = store.put(
+            publications["anatomy"],
+            requirement=requirements["anatomy"],
+            name="census",
+            parent=root.pub_id,
+        )
+        grand = store.put(
+            publications["perturbed"],
+            requirement=requirements["perturbed"],
+            name="census",
+            parent=child.pub_id[:12],  # prefixes resolve
+        )
+        reopened = PublicationStore(root_dir)
+        chain = reopened.versions("census")
+        assert [r.pub_id for r in chain] == [
+            root.pub_id, child.pub_id, grand.pub_id
+        ]
+        assert [r.parent_id for r in chain] == [
+            None, root.pub_id, child.pub_id
+        ]
+        assert reopened.latest("census").pub_id == grand.pub_id
+
+    def test_parent_before_child_with_siblings(self, store, publications,
+                                               requirements):
+        root = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+            name="d",
+        )
+        kids = sorted(
+            (
+                store.put(
+                    publications["anatomy"],
+                    requirement=requirements["anatomy"],
+                    name="d",
+                    parent=root,
+                ),
+                store.put(
+                    publications["perturbed"],
+                    requirement=requirements["perturbed"],
+                    name="d",
+                    parent=root,
+                ),
+            ),
+            key=lambda r: r.pub_id,
+        )
+        chain = store.versions("d")
+        assert chain[0].pub_id == root.pub_id
+        assert [r.pub_id for r in chain[1:]] == [r.pub_id for r in kids]
+
+    def test_dangling_parent_refused(self, store, publications,
+                                     requirements):
+        with pytest.raises(KeyError):
+            store.put(
+                publications["generalized"],
+                requirement=requirements["generalized"],
+                name="x",
+                parent="0" * 64,
+            )
+        assert store.versions("x") == []
+
+    def test_unknown_name(self, store):
+        assert store.versions("nope") == []
+        with pytest.raises(KeyError):
+            store.latest("nope")
+
+    def test_unnamed_records_join_no_lineage(self, store, publications,
+                                             requirements):
+        record = store.put(
+            publications["generalized"],
+            requirement=requirements["generalized"],
+        )
+        assert record.name is None and record.parent_id is None
+        assert all(
+            record.pub_id != r.pub_id for r in store.versions("census")
+        )
