@@ -1,0 +1,244 @@
+"""Count-cube serving performance baseline: cube vs bitmap backend.
+
+Measures serve-time answering of a Fig. 8-scale COUNT workload
+(default: 10 000 queries × 30K rows × the paper's 3-attribute QI) for
+the three mask-consuming publication formats (perturbed, Anatomy,
+Baseline) two ways:
+
+* **bitmap** — the batched mask engine: each query ANDs λ+1 range
+  bitmaps over all n rows, then per-estimator histogram work;
+* **cube** — precomputed prefix-sum count cubes: each query is ``2^d``
+  signed corner gathers, independent of n.
+
+Cube builds are timed separately (they are admission-time work, not
+serve-time work); both serve sweeps run against warm state.  Estimates
+must be byte-equal between the backends — the benchmark aborts on the
+first divergence regardless of ``--floor``.  A fallback section checks
+that an over-budget domain (synthetic, 512 values per QI) is refused by
+the cutover heuristic and served by the bitmap engine.  Run from the
+repo root::
+
+    PYTHONPATH=src python benchmarks/bench_cube.py [--rows 30000] \\
+        [--queries 10000] [--out benchmarks/BENCH_cube.json]
+
+Exits non-zero if the aggregate serve-time speedup drops below the 5x
+acceptance floor.  Standalone script (not pytest-collected), like
+bench_workload.py.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.anonymity import BaselinePublication, anatomize
+from repro.core import burel, perturb_table
+from repro.dataset import DEFAULT_QI, make_census
+from repro.query import (
+    DEFAULT_CUBE_BUDGET,
+    EncodedWorkload,
+    batch_estimates,
+    build_count_cube,
+    make_workload,
+)
+from repro.query import evaluate as evaluate_module
+
+LAMBDA = 3
+THETA = 0.1
+QUERY_SEED = 13
+ANATOMY_L = 16
+
+#: The serve-time cutover rule, recorded verbatim in the report: a
+#: sub-cube is built only when its padded cell count fits the budget.
+CUTOVER_HEURISTIC = (
+    "build a sub-cube iff prod(domain_j + 1) * payload_card * 8 bytes "
+    f"<= budget (default {DEFAULT_CUBE_BUDGET} = 128 MiB), gated per "
+    "sub-cube; anything over budget is served by the bitmap engine"
+)
+
+
+def _clear_caches() -> None:
+    evaluate_module._ENGINES.clear()
+    evaluate_module._PRECISE.clear()
+    evaluate_module._ENCODED.clear()
+
+
+def _drop_cubes(publications) -> None:
+    for published in publications.values():
+        published.__dict__.pop("_count_cube", None)
+
+
+def build_publications(table) -> dict:
+    return {
+        "perturbed": perturb_table(table, 4.0, rng=np.random.default_rng(29)),
+        "anatomy": anatomize(
+            table, ANATOMY_L, rng=np.random.default_rng(1)
+        ),
+        "baseline": BaselinePublication(table),
+    }
+
+
+def timed_sweep(table, publications, enc, backend, repeats) -> tuple:
+    """Best-of-``repeats`` serve time for one backend; returns
+    (estimates, seconds, served-by map of the last run)."""
+    best = None
+    estimates = None
+    served: dict[str, str] = {}
+    for _ in range(repeats):
+        served = {}
+        start = time.perf_counter()
+        estimates = batch_estimates(
+            table, publications, enc, backend=backend, served=served
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return estimates, best, served
+
+
+def bench_fallback(queries_count: int) -> dict:
+    """An over-budget domain must be refused and served by bitmap."""
+    from repro.dataset.synthetic import synthetic
+
+    table = synthetic(
+        5_000, qi_dims=3, sa_cardinality=16, skew=0.5, seed=5,
+        qi_domain=512, correlation=0.0,
+    )
+    published = BaselinePublication(table)
+    assert build_count_cube(published) is None
+    queries = make_workload(
+        table.schema, queries_count, 2, THETA, rng=QUERY_SEED
+    )
+    served: dict[str, str] = {}
+    _clear_caches()
+    start = time.perf_counter()
+    batch_estimates(
+        table, {"baseline": published}, queries,
+        backend="cube", served=served,
+    )
+    seconds = time.perf_counter() - start
+    if served != {"baseline": "bitmap"}:
+        raise SystemExit(
+            f"regression: over-budget domain was not served by the "
+            f"bitmap fallback (served={served})"
+        )
+    return {
+        "qi_domain": 512,
+        "cube_refused": True,
+        "served_by": "bitmap",
+        "bitmap_seconds": round(seconds, 6),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=30_000)
+    parser.add_argument("--queries", type=int, default=10_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_cube.json",
+    )
+    parser.add_argument("--floor", type=float, default=5.0)
+    args = parser.parse_args()
+
+    table = make_census(
+        args.rows, seed=7, correlation=0.3, qi_names=DEFAULT_QI
+    )
+    queries = make_workload(
+        table.schema, args.queries, LAMBDA, THETA, rng=QUERY_SEED
+    )
+    # Encode once outside both timed regions: serve-time comparison,
+    # not workload-parsing comparison.
+    enc = EncodedWorkload.encode(table.schema, queries)
+    publications = build_publications(table)
+
+    # Admission-time cost: cube builds, timed per publication.
+    build_seconds: dict[str, float] = {}
+    cube_bytes: dict[str, int] = {}
+    _drop_cubes(publications)
+    for name, published in publications.items():
+        start = time.perf_counter()
+        cube = build_count_cube(published)
+        build_seconds[name] = round(time.perf_counter() - start, 6)
+        if cube is None:
+            raise SystemExit(
+                f"regression: the {name} publication's cube did not fit "
+                f"the default budget at bench scale"
+            )
+        published._count_cube = cube
+        cube_bytes[name] = cube.nbytes
+
+    # Warm both paths once (mask engine build / first-touch), then time.
+    _clear_caches()
+    warmup = EncodedWorkload.encode(table.schema, queries[:32])
+    batch_estimates(table, publications, warmup, backend="bitmap")
+    bitmap_est, bitmap_seconds, bitmap_served = timed_sweep(
+        table, publications, enc, "bitmap", args.repeats
+    )
+    batch_estimates(table, publications, warmup, backend="cube")
+    cube_est, cube_seconds, cube_served = timed_sweep(
+        table, publications, enc, "cube", args.repeats
+    )
+
+    byte_equal = {}
+    for name in publications:
+        equal = bool(np.array_equal(bitmap_est[name], cube_est[name]))
+        byte_equal[name] = equal
+        if not equal:
+            raise SystemExit(
+                f"regression: cube estimates diverged from the bitmap "
+                f"path for the {name} publication format"
+            )
+    if sorted(cube_served.values()) != ["cube"] * len(publications):
+        raise SystemExit(
+            f"regression: not every publication was served from its "
+            f"cube (served={cube_served})"
+        )
+
+    speedup = bitmap_seconds / cube_seconds
+    report = {
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "rows": args.rows,
+        "queries": args.queries,
+        "lambda": LAMBDA,
+        "theta": THETA,
+        "anatomy_l": ANATOMY_L,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "host": platform.platform(),
+        "cutover_heuristic": CUTOVER_HEURISTIC,
+        "cube_budget_bytes": DEFAULT_CUBE_BUDGET,
+        "serve": {
+            "bitmap_seconds": round(bitmap_seconds, 6),
+            "cube_seconds": round(cube_seconds, 6),
+            "speedup": round(speedup, 2),
+            "served_by_bitmap_run": bitmap_served,
+            "served_by_cube_run": cube_served,
+            "byte_equal": byte_equal,
+        },
+        "build": {
+            "seconds": build_seconds,
+            "cube_bytes": cube_bytes,
+        },
+        "fallback": bench_fallback(min(args.queries, 1_000)),
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    if speedup < args.floor:
+        raise SystemExit(
+            f"regression: cube serve-time speedup {speedup:.2f}x is "
+            f"below the {args.floor}x acceptance floor"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,10 @@ ARTIFACT_KINDS = (
     "answerer",
     "view",
     "shard_run",
+    "cube",
+    "cube_table",
+    "cube_measure",
+    "cube_measure_table",
 )
 
 

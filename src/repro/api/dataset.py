@@ -188,10 +188,15 @@ class Dataset:
         return _encoded(self.table, queries, self.cache)
 
     def precise(
-        self, queries: Sequence[CountQuery] | EncodedWorkload
+        self,
+        queries: Sequence[CountQuery] | EncodedWorkload,
+        *,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Exact COUNT answers over the microdata (cached per workload)."""
-        return answer_precise_batch(self.table, queries, artifacts=self.cache)
+        return answer_precise_batch(
+            self.table, queries, artifacts=self.cache, backend=backend
+        )
 
     def view(self, published) -> PublicationView:
         """The content-keyed audit view of a publication."""
@@ -472,6 +477,8 @@ class Dataset:
         queries: Sequence[CountQuery] | EncodedWorkload,
         *,
         cache: bool = True,
+        backend: str = "auto",
+        served: "dict[str, str] | None" = None,
     ) -> "dict[str, ErrorProfile]":
         """Workload error of every publication, via the batched engine.
 
@@ -481,10 +488,15 @@ class Dataset:
         publication objects, prebuilt answerers and plain callables, and
         may include content-equal reloads from a store (identity with
         this table is not required — content equality is).
+
+        ``backend``/``served`` select and report the answer backend
+        (see :data:`repro.query.evaluate.BACKENDS`); cubes built under
+        ``backend="cube"`` are content-keyed in the session cache and
+        reused by later evaluations and services sharing it.
         """
         return _evaluate_workload(
             self.table, publications, queries, cache=cache,
-            artifacts=self.cache,
+            artifacts=self.cache, backend=backend, served=served,
         )
 
     def audit(
@@ -626,8 +638,9 @@ class AnonymizationRun:
         queries: Sequence[CountQuery] | EncodedWorkload,
         *,
         cache: bool = True,
+        backend: str = "auto",
     ) -> ErrorProfile:
         """This publication's COUNT-workload error profile."""
         return self.dataset.evaluate(
-            {"run": self.published}, queries, cache=cache
+            {"run": self.published}, queries, cache=cache, backend=backend
         )["run"]

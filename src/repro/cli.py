@@ -235,6 +235,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload generation seed",
     )
     query.add_argument(
+        "--backend", choices=("auto", "cube", "bitmap"), default="auto",
+        help="answer backend: precomputed count cube, bitmap masks, or "
+             "auto (cube when one is materialized, bitmap otherwise)",
+    )
+    query.add_argument(
         "-o", "--output", default=None,
         help="write queries + estimates as JSON",
     )
@@ -481,7 +486,9 @@ def _run_query(args: argparse.Namespace) -> int:
     service_kwargs = (
         {"workers": workers, "executor": "process"} if workers else {}
     )
-    with QueryService(store, **service_kwargs) as service:
+    with QueryService(
+        store, backend=args.backend, **service_kwargs
+    ) as service:
         try:
             record = service.load(args.pub_id)
         except KeyError as exc:
@@ -493,6 +500,7 @@ def _run_query(args: argparse.Namespace) -> int:
             schema, args.queries, lam, args.theta, rng=args.workload_seed
         )
         estimates = service.answer(args.pub_id, workload)
+        served = service.serving_backend(args.pub_id)
         if args.verbose:
             stats = service.stats_snapshot()
             print(
@@ -501,12 +509,15 @@ def _run_query(args: argparse.Namespace) -> int:
                 f"(mean size {stats['mean_batch_size']:.1f})"
             )
     print(f"answered {len(workload)} queries against "
-          f"{record.kind} publication {record.pub_id[:12]}")
+          f"{record.kind} publication {record.pub_id[:12]} "
+          f"(backend {args.backend!r}, served by {served or 'n/a'!r})")
     preview = ", ".join(f"{e:.2f}" for e in estimates[:5])
     print(f"first estimates: {preview}")
     if args.output:
         payload = {
             "publication": record.pub_id,
+            "backend": args.backend,
+            "served_by": served,
             "queries": [
                 {
                     "qi": [

@@ -467,10 +467,19 @@ def content_digest(meta: dict, arrays: "dict[str, np.ndarray]") -> str:
     publication key of the :class:`repro.api.ArtifactCache`, so a
     publication reloaded from a store hits the same cache entries as
     the object it was saved from.
+
+    Metadata keys and array names prefixed ``aux_`` are **excluded**:
+    they carry derived serving artifacts (the store's precomputed count
+    cubes; see :mod:`repro.query.cube`) that are a pure function of the
+    logical content, so attaching or dropping them must never change a
+    publication's identity.
     """
     hasher = hashlib.sha256()
-    hasher.update(json.dumps(meta, sort_keys=True).encode())
+    logical = {k: v for k, v in meta.items() if not k.startswith("aux_")}
+    hasher.update(json.dumps(logical, sort_keys=True).encode())
     for name in sorted(arrays):
+        if name.startswith("aux_"):
+            continue
         array = np.ascontiguousarray(arrays[name])
         hasher.update(name.encode())
         hasher.update(str(array.dtype).encode())

@@ -199,11 +199,15 @@ class GeneralizedAnswerer:
 class PerturbedAnswerer:
     """Batch estimator over a perturbed publication.
 
-    Precomputes the per-row reconstruction weight so a query costs one
-    boolean mask plus one histogram:  ``est = sum_rows w[sa'(row)]``
-    where ``w = (PM^-T · indicator(R_SA))`` — summing the reconstruction
-    over the SA range is a linear functional of the observed histogram,
-    so it can be folded into per-value weights once per SA range.
+    Summing the reconstruction ``PM⁻¹ E'`` over an SA range is a linear
+    functional of the observed histogram ``E'``, so it folds into
+    per-value weights once per SA range:
+    ``est = (w · E')`` with ``w = (PM^-T · indicator(R_SA))``.  The
+    estimate is computed in exactly that histogram form — an order-free
+    function of integer per-value counts — so any histogram source
+    (per-query masks, or a precomputed
+    :class:`~repro.query.cube.PrefixSumCube` value cube) yields
+    bit-identical results.
     """
 
     def __init__(self, published: PerturbedTable):
@@ -229,35 +233,61 @@ class PerturbedAnswerer:
 
     def __call__(self, query: CountQuery) -> float:
         mask = qi_mask(self.published.source, query)
+        observed = np.bincount(
+            self.published.sa_perturbed[mask],
+            minlength=self.published.source.sa_cardinality,
+        )
         weights = self._weights(query.sa_range)
-        return float(weights[self.published.sa_perturbed[mask]].sum())
+        return float((weights * observed).sum())
+
+    def weight_rows(self, queries) -> np.ndarray:
+        """``(Q, m)`` per-query weight vectors (cached per SA range)."""
+        if isinstance(queries, EncodedWorkload):
+            queries = queries.queries
+        m = self.published.source.sa_cardinality
+        out = np.empty((len(queries), m))
+        for i, query in enumerate(queries):
+            out[i] = self._weights(query.sa_range)
+        return out
 
     def batch(
-        self, queries, masks: np.ndarray | None = None
+        self,
+        queries,
+        masks: np.ndarray | None = None,
+        histograms: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Answer a workload, optionally against precomputed QI masks.
+        """Answer a workload against masks or precomputed histograms.
 
         Args:
             queries: Sequence of :class:`CountQuery` or an
                 :class:`~repro.query.workload.EncodedWorkload`.
             masks: Optional ``(Q, n_rows)`` boolean QI-mask matrix shared
                 across estimators (see
-                :func:`~repro.query.evaluate.evaluate_workload`); without
+                :func:`~repro.query.evaluate.batch_estimates`); without
                 it each query recomputes its own mask.
+            histograms: Optional ``(Q, m)`` observed perturbed-SA
+                histograms (integer counts), e.g. one gather from a
+                :class:`~repro.query.cube.PrefixSumCube` value cube;
+                takes precedence over ``masks``.
 
         Returns:
-            ``(Q,)`` float64 estimates, bit-identical to ``__call__``
-            (the per-row weight sum uses the same operation sequence).
+            ``(Q,)`` float64 estimates, bit-identical to ``__call__``:
+            every path reduces the same (weights × integer histogram)
+            products, so only where the histogram comes from differs.
         """
+        if histograms is not None:
+            return (self.weight_rows(queries) * histograms).sum(axis=1)
         if isinstance(queries, EncodedWorkload):
             queries = queries.queries
         source = self.published.source
         sa_perturbed = self.published.sa_perturbed
+        m = source.sa_cardinality
         out = np.empty(len(queries))
         for i, query in enumerate(queries):
             mask = masks[i] if masks is not None else qi_mask(source, query)
+            observed = np.bincount(sa_perturbed[mask], minlength=m)
             weights = self._weights(query.sa_range)
-            out[i] = weights[sa_perturbed[mask]].sum()
+            out[i] = (weights * observed).sum()
         return out
 
 
@@ -271,20 +301,13 @@ class AnatomyAnswerer:
     """
 
     def __init__(self, published):
+        from .cube import anatomy_group_of
+
         self.published = published
-        table = published.source
-        # -1 marks "no group"; rows an ill-formed publication fails to
-        # cover must not silently inherit whatever garbage the allocator
-        # left behind (they would corrupt every estimate).
-        self.group_of = np.full(table.n_rows, -1, dtype=np.int64)
-        for g, group in enumerate(published.groups):
-            self.group_of[group.rows] = g
-        uncovered = int(np.count_nonzero(self.group_of < 0))
-        if uncovered:
-            raise ValueError(
-                f"anatomy publication does not cover its source table: "
-                f"{uncovered} of {table.n_rows} rows belong to no group"
-            )
+        # -1-initialized + coverage-checked: rows an ill-formed
+        # publication fails to cover must not silently inherit garbage
+        # group ids (they would corrupt every estimate).
+        self.group_of = anatomy_group_of(published)
         counts = np.stack([group.sa_counts for group in published.groups])
         sizes = np.array([group.size for group in published.groups])
         distributions = counts / sizes[:, None]
@@ -305,15 +328,34 @@ class AnatomyAnswerer:
         fractions = self.sa_prefix[:, hi + 1] - self.sa_prefix[:, lo]
         return float((counts * fractions).sum())
 
+    def fraction_rows(self, queries) -> np.ndarray:
+        """``(Q, G)`` per-query group SA-range mass fractions."""
+        if isinstance(queries, EncodedWorkload):
+            queries = queries.queries
+        out = np.empty((len(queries), self.sa_prefix.shape[0]))
+        for i, query in enumerate(queries):
+            lo, hi = query.sa_range
+            out[i] = self.sa_prefix[:, hi + 1] - self.sa_prefix[:, lo]
+        return out
+
     def batch(
-        self, queries, masks: np.ndarray | None = None
+        self,
+        queries,
+        masks: np.ndarray | None = None,
+        group_counts: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Answer a workload, optionally against precomputed QI masks.
+        """Answer a workload against masks or precomputed group counts.
 
         Same contract as :meth:`PerturbedAnswerer.batch`: per-query
         operations are the scalar ones, so estimates are bit-identical;
-        ``masks`` only removes the per-query mask recomputation.
+        ``masks`` only removes the per-query mask recomputation, and
+        ``group_counts`` — ``(Q, G)`` integer per-group membership
+        counts inside each query's QI box, e.g. one gather from a
+        :class:`~repro.query.cube.PrefixSumCube` group cube — replaces
+        the masks entirely.
         """
+        if group_counts is not None:
+            return (group_counts * self.fraction_rows(queries)).sum(axis=1)
         if isinstance(queries, EncodedWorkload):
             queries = queries.queries
         source = self.published.source

@@ -1,0 +1,550 @@
+"""Precomputed prefix-sum count cubes: the ``CountCube`` answer backend.
+
+The bitmap engine (:mod:`repro.query.evaluate`) pays ``λ + 1`` packed
+ANDs plus a popcount per precise COUNT, and per-query mask work for the
+mask-consuming estimators, at *serve* time.  For a publication admitted
+to the store the domain is fixed, so that work can be moved to
+*admission* time instead: this module materializes d-dimensional
+**inclusive prefix-sum cubes** over the (bucketized) QI×SA domain, after
+which any range COUNT is ``2^d`` signed corner lookups — independent of
+both the row count and the range widths (the same pre/post-order window
+trick that turns tree-axis predicates into index-range scans).
+
+Three cube shapes cover the four publication kinds:
+
+* a **table cube** over ``(QI_1 .. QI_d, SA)`` answers precise COUNTs
+  and per-query QI-match sizes (all the Baseline estimator consumes);
+* a **value cube** over ``(QI_1 .. QI_d) × perturbed-SA-value`` yields
+  each query's observed perturbed histogram in one gather, feeding the
+  perturbed estimator's weight functional;
+* a **group cube** over ``(QI_1 .. QI_d) × Anatomy-group`` yields each
+  query's per-group membership counts, feeding the Anatomy estimator's
+  mass fractions.
+
+Generalized publications need no cube: their estimator is already
+table-free (the per-EC SA prefix sums *are* a 1-D instance of the same
+trick), so the cube backend serves them through the EC answerer
+unchanged.
+
+Cubes hold exact integer counts (int32 storage — counts are bounded by
+the row count — upcast to int64/float64 downstream; the measure-sum
+cubes behind SUM/AVG aggregates hold exact float64 integer sums), so
+cube answers are **bit-identical** to the bitmap and scalar paths: the
+integer inputs are equal, and the estimators' final float operations
+are shared.
+
+The cutover heuristic mirrors ``DEFAULT_INDEX_BUDGET``: a cube is built
+only when ``prod(domain_j + 1) * (extra_axis) * 8`` bytes fits
+:data:`DEFAULT_CUBE_BUDGET`; larger domains fall back to the bitmap
+engine (same answers, no cube memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..anonymity.anatomy import AnatomyTable, BaselinePublication
+from ..core.perturb import PerturbedTable
+from ..dataset.published import GeneralizedTable
+from ..dataset.schema import Schema
+from ..dataset.table import Table
+from .workload import EncodedWorkload
+
+#: Default byte budget for one prefix-sum cube; domains whose padded
+#: cell count would exceed it are served by the bitmap engine instead
+#: (mirrors ``repro.query.evaluate.DEFAULT_INDEX_BUDGET``).
+DEFAULT_CUBE_BUDGET = 128 * 2**20
+
+#: Cell budget for one payload-cube gather chunk; bounds the peak size
+#: of the per-corner (queries × payload) intermediate.
+_GATHER_CELLS = 4 * 2**20
+
+#: Array-name prefix of cube entries riding along in a publication
+#: payload.  ``repro.io.content_digest`` skips ``aux_``-prefixed names,
+#: so attaching cubes never changes a publication's content id.
+CUBE_PAYLOAD_PREFIX = "aux_cube_"
+
+#: Version tag of the serialized cube layout; bump on changes.
+CUBE_PAYLOAD_VERSION = 1
+
+
+def estimate_cube_bytes(
+    dims: Sequence[int], payload_card: int | None = None, itemsize: int = 8
+) -> int:
+    """Bytes a :class:`PrefixSumCube` over ``dims`` would occupy.
+
+    Every range axis is padded by one zero plane (``dim + 1`` entries);
+    an optional payload axis multiplies by its cardinality unpadded.
+    """
+    cells = 1
+    for dim in dims:
+        cells *= int(dim) + 1
+    if payload_card is not None:
+        cells *= max(1, int(payload_card))
+    return cells * itemsize
+
+
+class PrefixSumCube:
+    """Inclusive d-dimensional prefix sums with zero front planes.
+
+    ``prefix[i_1, .., i_k]`` is the weighted count of points whose
+    ``j``-th coordinate (shifted by ``lows[j]``) is ``< i_j`` — the
+    classic summed-area table, padded so no corner lookup needs bounds
+    special-casing.  An optional trailing **payload axis** is histogram
+    raw (not prefix-summed): lookups then return one ``(card,)`` vector
+    per query, e.g. the per-group counts inside a query's QI box.
+
+    Range sums over ``Q`` queries are ``2^k`` signed flat gathers,
+    vectorized across the whole batch.
+    """
+
+    def __init__(
+        self,
+        prefix: np.ndarray,
+        lows: Sequence[int],
+        payload_card: int | None = None,
+    ):
+        self.prefix = prefix
+        self.lows = tuple(int(lo) for lo in lows)
+        self.payload_card = payload_card
+        k = len(self.lows)
+        expected_ndim = k + (1 if payload_card is not None else 0)
+        if prefix.ndim != expected_ndim:
+            raise ValueError(
+                f"prefix has {prefix.ndim} axes; expected {expected_ndim}"
+            )
+        if payload_card is not None and prefix.shape[-1] != payload_card:
+            raise ValueError("payload axis does not match payload_card")
+        #: Per-range-axis padded extents (domain size + 1).
+        self._extents = np.array(prefix.shape[:k], dtype=np.int64)
+        strides = np.ones(k, dtype=np.int64)
+        for j in range(k - 2, -1, -1):
+            strides[j] = strides[j + 1] * self._extents[j + 1]
+        self._strides = strides
+        if payload_card is not None:
+            self._flat = prefix.reshape(-1, payload_card)
+        else:
+            self._flat = prefix.reshape(-1)
+
+    @property
+    def n_axes(self) -> int:
+        return len(self.lows)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.prefix.nbytes)
+
+    @classmethod
+    def build(
+        cls,
+        columns: Sequence[np.ndarray],
+        lows: Sequence[int],
+        dims: Sequence[int],
+        *,
+        payload: np.ndarray | None = None,
+        payload_card: int | None = None,
+        weights: np.ndarray | None = None,
+    ) -> "PrefixSumCube":
+        """Build from per-axis point coordinates.
+
+        Args:
+            columns: One ``(n,)`` integer array per range axis.
+            lows: Per-axis domain lower bound (coordinates are shifted).
+            dims: Per-axis domain size (``hi - lo + 1``).
+            payload: Optional ``(n,)`` categorical axis (group id,
+                perturbed SA value); must lie in ``[0, payload_card)``.
+            payload_card: Cardinality of the payload axis.
+            weights: Optional ``(n,)`` per-point weights (measure-sum
+                cubes); without them the cube holds int64 counts.
+        """
+        if (payload is None) != (payload_card is None):
+            raise ValueError("payload and payload_card go together")
+        shape = tuple(int(d) + 1 for d in dims)
+        if payload_card is not None:
+            shape = shape + (int(payload_card),)
+        cells = int(np.prod(np.array(shape, dtype=np.int64)))
+        index_cols = [
+            np.asarray(col, dtype=np.int64) - int(lo) + 1
+            for col, lo in zip(columns, lows)
+        ]
+        if payload is not None:
+            index_cols.append(np.asarray(payload, dtype=np.int64))
+        n = index_cols[0].shape[0] if index_cols else 0
+        if n == 0:
+            flat = np.zeros(
+                cells, dtype=np.int64 if weights is None else np.float64
+            )
+        else:
+            flat_idx = np.ravel_multi_index(tuple(index_cols), shape)
+            flat = np.bincount(flat_idx, weights=weights, minlength=cells)
+        prefix = flat.reshape(shape)
+        # Scattering at +1 offsets makes the running cumsum inclusive
+        # with the zero planes landing automatically at index 0.
+        for axis in range(len(dims)):
+            np.cumsum(prefix, axis=axis, out=prefix)
+        # Counts are bounded by n; int32 halves the memory traffic the
+        # corner gathers pay per query (downstream math converts to
+        # float64, which represents either width exactly, so estimates
+        # stay bit-identical).
+        if weights is None and n <= np.iinfo(np.int32).max:
+            prefix = prefix.astype(np.int32)
+        return cls(prefix, lows, payload_card)
+
+    def _corner_bounds(
+        self, lo_bounds: np.ndarray, hi_bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Clip inclusive domain bounds to padded cube indices.
+
+        Returns ``(lo_idx, hi_idx)`` with ``hi_idx`` exclusive;
+        degenerate or inverted ranges collapse to empty (both corners
+        coincide, so their signed contributions cancel exactly).
+        """
+        lows = np.asarray(self.lows, dtype=np.int64)
+        top = self._extents - 1  # per-axis domain size
+        lo = np.clip(np.asarray(lo_bounds, dtype=np.int64) - lows, 0, top)
+        hi = np.clip(np.asarray(hi_bounds, dtype=np.int64) - lows + 1, 0, top)
+        return lo, np.maximum(hi, lo)
+
+    def range_sums(
+        self, lo_bounds: np.ndarray, hi_bounds: np.ndarray
+    ) -> np.ndarray:
+        """Signed-corner range sums for a batch of boxes.
+
+        Args:
+            lo_bounds / hi_bounds: ``(Q, k)`` inclusive per-axis bounds
+                in domain coordinates (an encoded workload's clipped
+                bound arrays slot in directly).
+
+        Returns:
+            ``(Q,)`` sums, or ``(Q, payload_card)`` per-payload-value
+            sums for payload cubes — exact integers (int64 for plain
+            sums, the cube's storage width for payload histograms) or
+            exact-integer float64 for weighted cubes.
+        """
+        lo, hi = self._corner_bounds(lo_bounds, hi_bounds)
+        n_queries = lo.shape[0]
+        k = self.n_axes
+        if self.payload_card is None:
+            dtype = (
+                np.int64 if self.prefix.dtype.kind == "i"
+                else self.prefix.dtype
+            )
+            out = np.zeros(n_queries, dtype=dtype)
+            self._accumulate(out, lo, hi, slice(0, n_queries))
+            return out
+        out = np.zeros(
+            (n_queries, self.payload_card), dtype=self.prefix.dtype
+        )
+        chunk = max(1, _GATHER_CELLS // max(1, self.payload_card))
+        for start in range(0, n_queries, chunk):
+            stop = min(start + chunk, n_queries)
+            self._accumulate(
+                out[start:stop], lo[start:stop], hi[start:stop],
+                slice(start, stop),
+            )
+        return out
+
+    def _accumulate(
+        self, out: np.ndarray, lo: np.ndarray, hi: np.ndarray, _span
+    ) -> None:
+        """Add the ``2^k`` signed corner gathers for one query chunk."""
+        k = self.n_axes
+        for corner in range(1 << k):
+            popcount = bin(corner).count("1")
+            idx = np.zeros(lo.shape[0], dtype=np.int64)
+            for j in range(k):
+                sel = hi[:, j] if (corner >> j) & 1 else lo[:, j]
+                idx += sel * self._strides[j]
+            values = self._flat[idx]
+            if (k - popcount) & 1:
+                out -= values
+            else:
+                out += values
+
+
+# ----------------------------------------------------------------------
+# Per-kind cube construction
+# ----------------------------------------------------------------------
+
+
+def _qi_axes(schema: Schema) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    lows = tuple(attr.lo for attr in schema.qi)
+    dims = tuple(attr.hi - attr.lo + 1 for attr in schema.qi)
+    return lows, dims
+
+
+def estimate_table_cube_bytes(schema: Schema) -> int:
+    """Bytes of the (QI..., SA) table cube for ``schema``."""
+    _, dims = _qi_axes(schema)
+    return estimate_cube_bytes(dims + (schema.sensitive.cardinality,))
+
+
+def build_table_cube(
+    table: Table, budget: int | None = DEFAULT_CUBE_BUDGET
+) -> PrefixSumCube | None:
+    """The (QI..., SA) count cube of a table, or ``None`` over budget.
+
+    Full-SA-range lookups give per-query QI-match sizes, so one cube
+    serves both precise COUNTs and the Baseline estimator's only input.
+    """
+    if budget is not None and estimate_table_cube_bytes(table.schema) > budget:
+        return None
+    lows, dims = _qi_axes(table.schema)
+    columns = [table.qi[:, j] for j in range(table.schema.n_qi)]
+    return PrefixSumCube.build(
+        columns + [table.sa],
+        lows + (0,),
+        dims + (table.sa_cardinality,),
+    )
+
+
+def build_table_measure_cube(
+    table: Table,
+    measure_dim: int,
+    budget: int | None = DEFAULT_CUBE_BUDGET,
+) -> PrefixSumCube | None:
+    """(QI..., SA) cube of per-cell **measure sums** (SUM aggregates).
+
+    Weighted by the integer measure column, so cells hold exact integer
+    sums in float64; range sums equal the masked integer sums bit for
+    bit once converted to float.
+    """
+    if budget is not None and estimate_table_cube_bytes(table.schema) > budget:
+        return None
+    lows, dims = _qi_axes(table.schema)
+    columns = [table.qi[:, j] for j in range(table.schema.n_qi)]
+    return PrefixSumCube.build(
+        columns + [table.sa],
+        lows + (0,),
+        dims + (table.sa_cardinality,),
+        weights=table.qi[:, measure_dim].astype(np.float64),
+    )
+
+
+def build_payload_cube(
+    table: Table,
+    payload: np.ndarray,
+    payload_card: int,
+    budget: int | None = DEFAULT_CUBE_BUDGET,
+    *,
+    weights: np.ndarray | None = None,
+) -> PrefixSumCube | None:
+    """A (QI...) × payload cube over a table's rows, or ``None``.
+
+    The generic builder behind the perturbed value cube, the Anatomy
+    group cube, and their measure-sum variants.
+    """
+    lows, dims = _qi_axes(table.schema)
+    if budget is not None and (
+        estimate_cube_bytes(dims, payload_card) > budget
+    ):
+        return None
+    columns = [table.qi[:, j] for j in range(table.schema.n_qi)]
+    return PrefixSumCube.build(
+        columns,
+        lows,
+        dims,
+        payload=payload,
+        payload_card=payload_card,
+        weights=weights,
+    )
+
+
+def anatomy_group_of(published: AnatomyTable) -> np.ndarray:
+    """Row → group-id map of an Anatomy publication, coverage-checked."""
+    table = published.source
+    group_of = np.full(table.n_rows, -1, dtype=np.int64)
+    for g, group in enumerate(published.groups):
+        group_of[group.rows] = g
+    uncovered = int(np.count_nonzero(group_of < 0))
+    if uncovered:
+        raise ValueError(
+            f"anatomy publication does not cover its source table: "
+            f"{uncovered} of {table.n_rows} rows belong to no group"
+        )
+    return group_of
+
+
+@dataclass
+class CountCube:
+    """The cube backend's serving state for one publication.
+
+    Attributes:
+        kind: The publication kind the cube was built for.
+        table: (QI..., SA) count cube over the source rows, or ``None``
+            when that domain exceeded the build budget.
+        payload: Kind-specific (QI...) × payload count cube (perturbed
+            SA values, or Anatomy groups), or ``None`` when the kind
+            needs none / the domain exceeded the budget.
+    """
+
+    kind: str
+    table: PrefixSumCube | None = None
+    payload: PrefixSumCube | None = None
+
+    @property
+    def nbytes(self) -> int:
+        total = 0
+        if self.table is not None:
+            total += self.table.nbytes
+        if self.payload is not None:
+            total += self.payload.nbytes
+        return total
+
+    def __bool__(self) -> bool:
+        return self.table is not None or self.payload is not None
+
+    # -- encoded-workload lookups --------------------------------------
+
+    def precise(self, enc: EncodedWorkload) -> np.ndarray:
+        """Exact COUNTs (QI ∧ SA predicates), int64, from the table cube."""
+        lo = np.concatenate([enc.qi_lo, enc.sa_lo[:, None]], axis=1)
+        hi = np.concatenate([enc.qi_hi, enc.sa_hi[:, None]], axis=1)
+        return self.table.range_sums(lo, hi)
+
+    def qi_counts(self, enc: EncodedWorkload) -> np.ndarray:
+        """Per-query QI-match sizes (full SA range), int64."""
+        n = enc.n_queries
+        m = self.table._extents[-1] - 1
+        sa_lo = np.zeros((n, 1), dtype=np.int64)
+        sa_hi = np.full((n, 1), m - 1, dtype=np.int64)
+        lo = np.concatenate([enc.qi_lo, sa_lo], axis=1)
+        hi = np.concatenate([enc.qi_hi, sa_hi], axis=1)
+        return self.table.range_sums(lo, hi)
+
+    def payload_counts(self, enc: EncodedWorkload) -> np.ndarray:
+        """Per-query payload histograms inside the QI box, ``(Q, card)``."""
+        return self.payload.range_sums(enc.qi_lo, enc.qi_hi)
+
+    # -- payload-archive round-trip ------------------------------------
+
+    def to_payload(self) -> tuple[dict, dict]:
+        """``(meta, arrays)`` to ride along in a publication payload.
+
+        Array names carry :data:`CUBE_PAYLOAD_PREFIX` and the metadata
+        lands under an ``aux_cube`` key — both skipped by
+        :func:`repro.io.content_digest`, so persisting a cube never
+        changes the publication's content id.
+        """
+        meta: dict = {"version": CUBE_PAYLOAD_VERSION, "kind": self.kind}
+        arrays: dict = {}
+        for name, cube in (("table", self.table), ("payload", self.payload)):
+            if cube is None:
+                meta[name] = None
+                continue
+            meta[name] = {
+                "lows": list(cube.lows),
+                "payload_card": cube.payload_card,
+            }
+            arrays[CUBE_PAYLOAD_PREFIX + name] = cube.prefix
+        return meta, arrays
+
+    @classmethod
+    def from_payload(cls, meta: dict, arrays: dict) -> "CountCube":
+        """Rebuild from :meth:`to_payload` output (lossless)."""
+        if meta.get("version") != CUBE_PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported cube payload version {meta.get('version')!r}"
+            )
+        cubes: dict[str, PrefixSumCube | None] = {}
+        for name in ("table", "payload"):
+            spec = meta.get(name)
+            if spec is None:
+                cubes[name] = None
+                continue
+            cubes[name] = PrefixSumCube(
+                arrays[CUBE_PAYLOAD_PREFIX + name],
+                spec["lows"],
+                spec["payload_card"],
+            )
+        return cls(kind=meta["kind"], table=cubes["table"],
+                   payload=cubes["payload"])
+
+
+def build_measure_cube(
+    published, measure_dim: int, budget: int | None = DEFAULT_CUBE_BUDGET
+) -> CountCube | None:
+    """Measure-sum cubes for SUM/AVG aggregates over a publication.
+
+    The same shapes as :func:`build_count_cube`, but every cell holds
+    the **sum of the measure column** (a QI attribute, cast to float64)
+    over its points instead of their count; the cells are exact integer
+    sums, so downstream estimates match the masked bitmap path bit for
+    bit.  Generalized publications need none (their aggregate estimator
+    works off the published EC boxes alone).
+    """
+    table = published.source
+    measure = table.qi[:, measure_dim].astype(np.float64)
+    table_cube = build_table_measure_cube(table, measure_dim, budget)
+    payload_cube = None
+    if isinstance(published, PerturbedTable):
+        kind = "perturbed"
+        payload_cube = build_payload_cube(
+            table,
+            published.sa_perturbed,
+            table.sa_cardinality,
+            budget,
+            weights=measure,
+        )
+    elif isinstance(published, AnatomyTable):
+        kind = "anatomy"
+        if published.groups:
+            payload_cube = build_payload_cube(
+                table,
+                anatomy_group_of(published),
+                len(published.groups),
+                budget,
+                weights=measure,
+            )
+    elif isinstance(published, GeneralizedTable):
+        kind = "generalized"
+    elif isinstance(published, BaselinePublication):
+        kind = "baseline"
+    else:
+        raise TypeError(
+            f"no cube builder for publication type {type(published).__name__!r}"
+        )
+    cube = CountCube(kind=kind, table=table_cube, payload=payload_cube)
+    return cube if cube else None
+
+
+def build_count_cube(
+    published, budget: int | None = DEFAULT_CUBE_BUDGET
+) -> CountCube | None:
+    """The :class:`CountCube` for a publication, or ``None``.
+
+    Each sub-cube is gated on ``budget`` independently; ``None`` means
+    nothing fit and the bitmap engine must serve this publication.
+    Generalized publications get only the table cube (their estimator is
+    already table-free; see the module docstring).
+    """
+    table = published.source
+    table_cube = build_table_cube(table, budget)
+    payload_cube = None
+    if isinstance(published, PerturbedTable):
+        kind = "perturbed"
+        payload_cube = build_payload_cube(
+            table, published.sa_perturbed, table.sa_cardinality, budget
+        )
+    elif isinstance(published, AnatomyTable):
+        kind = "anatomy"
+        if published.groups:
+            payload_cube = build_payload_cube(
+                table,
+                anatomy_group_of(published),
+                len(published.groups),
+                budget,
+            )
+    elif isinstance(published, GeneralizedTable):
+        kind = "generalized"
+    elif isinstance(published, BaselinePublication):
+        kind = "baseline"
+    else:
+        raise TypeError(
+            f"no cube builder for publication type {type(published).__name__!r}"
+        )
+    cube = CountCube(kind=kind, table=table_cube, payload=payload_cube)
+    return cube if cube else None

@@ -25,6 +25,18 @@ All batch estimates are **bit-identical** to the scalar per-query
 answerers — the batch kernels perform the same numpy operation
 sequences, only amortizing the Python-level dispatch — so migrating an
 experiment onto :func:`evaluate_workload` cannot change its numbers.
+
+Serve-time answering is pluggable behind a **backend** seam: the bitmap
+engine above is one backend, and :mod:`repro.query.cube` provides a
+second — precomputed d-dimensional prefix-sum count cubes that turn any
+range COUNT into ``2^d`` array lookups.  :func:`batch_estimates`,
+:func:`answer_precise_batch` and the workload evaluators accept
+``backend="auto" | "cube" | "bitmap"``: ``auto`` serves from a cube
+already attached to the publication (a store admission built it) or
+cached, ``cube`` builds one on demand within
+:data:`~repro.query.cube.DEFAULT_CUBE_BUDGET`, and both fall back to
+this module's bitmap engine — with bit-identical answers — when the
+domain exceeds the budget.
 """
 
 from __future__ import annotations
@@ -50,6 +62,7 @@ from .answer import (
     GeneralizedAnswerer,
     PerturbedAnswerer,
 )
+from .cube import CountCube, build_count_cube, build_table_cube
 from .workload import CountQuery, EncodedWorkload
 
 #: Default byte budget for a table's range-bitmap index; tables whose
@@ -363,11 +376,90 @@ def _encoded(
     return hit
 
 
+# ----------------------------------------------------------------------
+# Answer backends (bitmap engine vs precomputed count cubes)
+# ----------------------------------------------------------------------
+
+#: Valid ``backend=`` values, shared by the query, service, api and cli
+#: layers.  ``auto`` serves from a cube that already exists (attached by
+#: a store load, or sitting in the artifact cache) and never builds one;
+#: ``cube`` builds on demand within the cube byte budget and falls back
+#: to the bitmap engine when the domain exceeds it; ``bitmap`` never
+#: consults cubes.
+BACKENDS = ("auto", "cube", "bitmap")
+
+
+def check_backend(backend: str) -> str:
+    """Validate a backend name, returning it for chaining."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown answer backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
+
+
+def table_count_cube(
+    table: Table, artifacts=None, backend: str = "cube"
+):
+    """The (QI..., SA) prefix-sum cube for ``table``, or ``None``.
+
+    With an artifact cache the cube is content-keyed as
+    ``("cube_table", table_digest)``; otherwise it is memoized on the
+    table object.  ``backend="auto"`` only returns an already-built
+    cube, ``"cube"`` builds one (``None`` when over budget), and
+    ``"bitmap"`` always returns ``None``.
+    """
+    check_backend(backend)
+    if backend == "bitmap":
+        return None
+    if artifacts is not None:
+        key = ("cube_table", artifacts.table_key(table))
+        if backend == "auto":
+            return artifacts.get(key)
+        return artifacts.get_or_build(key, lambda: build_table_cube(table))
+    memo = table.__dict__
+    if "_table_cube" in memo:
+        return memo["_table_cube"]
+    if backend == "auto":
+        return None
+    cube = build_table_cube(table)
+    memo["_table_cube"] = cube
+    return cube
+
+
+def _publication_cube(published, artifacts, backend: str) -> CountCube | None:
+    """The publication's :class:`CountCube` under ``backend`` semantics.
+
+    ``None`` means the bitmap engine must serve it — either the backend
+    forbids cubes, none has been materialized yet (``auto``), or the
+    domain exceeded the build budget (``cube``).
+    """
+    if backend == "bitmap":
+        return None
+    memo = getattr(published, "__dict__", None)
+    if memo is not None and "_count_cube" in memo:
+        return memo["_count_cube"]
+    if artifacts is not None:
+        key = ("cube", artifacts.publication_key(published))
+        if backend == "auto":
+            return artifacts.get(key)
+        return artifacts.get_or_build(
+            key, lambda: build_count_cube(published)
+        )
+    if backend == "auto":
+        return None
+    cube = build_count_cube(published)
+    if memo is not None:
+        memo["_count_cube"] = cube
+    return cube
+
+
 def answer_precise_batch(
     table: Table,
     queries: Sequence[CountQuery] | EncodedWorkload,
     cache: bool = True,
     artifacts=None,
+    backend: str = "auto",
 ) -> np.ndarray:
     """Exact answers for a whole workload in one batched pass.
 
@@ -383,13 +475,25 @@ def answer_precise_batch(
         artifacts: Optional :class:`repro.api.ArtifactCache`; replaces
             the module-level weak memo with content-keyed entries that
             survive table reloads.
+        backend: ``auto`` | ``cube`` | ``bitmap`` — cube answers are
+            bit-identical int64 counts, so the memo key is shared.
     """
+    check_backend(backend)
     enc = _encoded(table, queries, artifacts)
+
+    def compute() -> np.ndarray:
+        cube = table_count_cube(table, artifacts, backend)
+        if cube is not None:
+            lo = np.concatenate([enc.qi_lo, enc.sa_lo[:, None]], axis=1)
+            hi = np.concatenate([enc.qi_hi, enc.sa_hi[:, None]], axis=1)
+            return cube.range_sums(lo, hi)
+        return mask_engine(table, artifacts).precise(enc)
+
     key = enc.queries
     if cache and artifacts is not None:
 
         def build() -> np.ndarray:
-            out = mask_engine(table, artifacts).precise(enc)
+            out = compute()
             out.setflags(write=False)
             return out
 
@@ -401,7 +505,7 @@ def answer_precise_batch(
         hit = per_table.get(key)
         if hit is not None:
             return hit
-    out = mask_engine(table, artifacts).precise(enc)
+    out = compute()
     if cache:
         # The cached object itself is handed to every later caller; it
         # must be immutable or one caller's in-place edit would corrupt
@@ -483,12 +587,19 @@ def batch_estimates(
     publications: Mapping[str, object],
     queries: Sequence[CountQuery] | EncodedWorkload,
     artifacts=None,
+    *,
+    backend: str = "auto",
+    served: "dict[str, str] | None" = None,
 ) -> "dict[str, np.ndarray]":
     """Batch estimates of every publication over one workload.
 
     Mask-consuming estimators (perturbed, Anatomy, Baseline) share one
     QI-mask source per (table, workload) — the point of the batched
-    engine — instead of each recomputing O(n) masks per query.
+    engine — instead of each recomputing O(n) masks per query.  With a
+    :class:`~repro.query.cube.CountCube` available (see ``backend``),
+    those estimators skip mask work entirely: the cube's per-query
+    histograms feed the same final weight/fraction functionals, so the
+    estimates stay bit-identical either way.
 
     Args:
         table: The source microdata (all publications must be over it).
@@ -497,13 +608,20 @@ def batch_estimates(
             weights, warm across sweep points).
         queries: The workload.
         artifacts: Optional :class:`repro.api.ArtifactCache` providing
-            the content-keyed mask engine, encoded workload and
-            answerers (the facade's shared-artifact path).
+            the content-keyed mask engine, encoded workload, answerers
+            and cubes (the facade's shared-artifact path).
+        backend: ``auto`` | ``cube`` | ``bitmap`` (see :data:`BACKENDS`).
+        served: Optional dict the caller owns; filled with
+            name → backend label that actually answered it: ``"cube"``,
+            ``"bitmap"``, ``"ec"`` (generalized publications are served
+            by their table-free EC answerer under every backend), or
+            ``"answerer"``/``"scalar"`` for generic estimators.
 
     Returns:
         Name → ``(Q,)`` float64 estimates, bit-identical to the scalar
         per-query answerers.
     """
+    check_backend(backend)
     enc = _encoded(table, queries, artifacts)
     answerers = {
         name: _coerce_answerer(value, artifacts)
@@ -513,18 +631,43 @@ def batch_estimates(
         source = _source_of(answerer)
         if source is not None:
             _check_source(name, source, table, artifacts)
+    if served is None:
+        served = {}
     out: dict[str, np.ndarray] = {}
     mask_users: dict[str, object] = {}
     for name, answerer in answerers.items():
-        if isinstance(answerer, (PerturbedAnswerer, AnatomyAnswerer)):
-            mask_users[name] = answerer
+        if isinstance(answerer, GeneralizedAnswerer):
+            out[name] = answerer.batch(enc)
+            served[name] = "ec"
+        elif isinstance(answerer, (PerturbedAnswerer, AnatomyAnswerer)):
+            cube = _publication_cube(answerer.published, artifacts, backend)
+            if cube is not None and cube.payload is not None:
+                histograms = cube.payload_counts(enc)
+                if isinstance(answerer, PerturbedAnswerer):
+                    out[name] = answerer.batch(enc, histograms=histograms)
+                else:
+                    out[name] = answerer.batch(enc, group_counts=histograms)
+                served[name] = "cube"
+            else:
+                mask_users[name] = answerer
+                served[name] = "bitmap"
         elif isinstance(answerer, BaselineAnswerer):
-            engine = mask_engine(table, artifacts)
-            out[name] = answerer.batch(enc, qi_counts=engine.qi_counts(enc))
+            cube = _publication_cube(answerer.published, artifacts, backend)
+            if cube is not None and cube.table is not None:
+                out[name] = answerer.batch(enc, qi_counts=cube.qi_counts(enc))
+                served[name] = "cube"
+            else:
+                engine = mask_engine(table, artifacts)
+                out[name] = answerer.batch(
+                    enc, qi_counts=engine.qi_counts(enc)
+                )
+                served[name] = "bitmap"
         elif hasattr(answerer, "batch"):
             out[name] = np.asarray(answerer.batch(enc))
+            served[name] = "answerer"
         else:  # plain per-query callable
             out[name] = np.array([answerer(q) for q in enc.queries])
+            served[name] = "scalar"
     if mask_users:
         engine = mask_engine(table, artifacts)
         for name in mask_users:
@@ -543,6 +686,8 @@ def _evaluate_workload(
     queries: Sequence[CountQuery] | EncodedWorkload,
     cache: bool = True,
     artifacts=None,
+    backend: str = "auto",
+    served: "dict[str, str] | None" = None,
 ) -> "dict[str, ErrorProfile]":
     """Evaluate a COUNT-query workload over a set of publications.
 
@@ -559,13 +704,19 @@ def _evaluate_workload(
         queries: The workload.
         cache: Forwarded to :func:`answer_precise_batch`.
         artifacts: Optional :class:`repro.api.ArtifactCache`.
+        backend: Answer backend selection (see :data:`BACKENDS`).
+        served: Optional dict filled with name → serving backend label.
 
     Returns:
         Name → :class:`ErrorProfile`, in ``publications`` order.
     """
     enc = _encoded(table, queries, artifacts)
-    estimates = batch_estimates(table, publications, enc, artifacts)
-    precise = answer_precise_batch(table, enc, cache=cache, artifacts=artifacts)
+    estimates = batch_estimates(
+        table, publications, enc, artifacts, backend=backend, served=served
+    )
+    precise = answer_precise_batch(
+        table, enc, cache=cache, artifacts=artifacts, backend=backend
+    )
     return {
         name: error_profile(precise, estimate)
         for name, estimate in estimates.items()

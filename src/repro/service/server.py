@@ -38,7 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..query.evaluate import batch_estimates, make_answerer
+from ..query.evaluate import batch_estimates, check_backend, make_answerer
 from ..query.workload import CountQuery, EncodedWorkload
 from .store import PublicationRecord, PublicationStore
 
@@ -50,6 +50,9 @@ class _Serving:
     record: PublicationRecord
     publication: object
     answerer: object
+    #: Label of the backend that answered the most recent batch
+    #: ("cube" / "bitmap" / "ec"), None before the first batch.
+    backend: "str | None" = None
 
     @property
     def table(self):
@@ -70,6 +73,11 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    #: Batches answered per backend label ("cube" / "bitmap" / "ec").
+    served_by_backend: dict = field(default_factory=dict)
+    #: Batches the service *wanted* to serve from a cube (backend
+    #: preference "auto"/"cube") but the bitmap engine answered.
+    cube_fallbacks: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self) -> dict:
@@ -84,6 +92,8 @@ class ServiceStats:
                 "cache_hits": self.cache_hits,
                 "cache_misses": self.cache_misses,
                 "cache_evictions": self.cache_evictions,
+                "served_by_backend": dict(self.served_by_backend),
+                "cube_fallbacks": self.cube_fallbacks,
             }
 
 
@@ -114,6 +124,15 @@ class QueryService:
             ship to the pool once via shared memory, and answers are
             bit-identical to the thread path because the same batched
             kernels run over content-equal state.
+        backend: Answer-backend preference —
+            ``"auto"`` (default) serves from the count cube a store
+            admission attached to the publication and falls back to the
+            bitmap engine, ``"cube"`` additionally builds missing cubes
+            on first use, ``"bitmap"`` never consults cubes.  Estimates
+            are bit-identical either way; :attr:`ServiceStats` records
+            which backend answered each batch.  The process executor
+            always serves via the bitmap engine (cubes stay in this
+            process).
 
     Use as a context manager, or call :meth:`close` to join the pool.
     """
@@ -128,6 +147,7 @@ class QueryService:
         linger_seconds: float = 0.0,
         artifact_cache=None,
         executor: str = "thread",
+        backend: str = "auto",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -135,6 +155,7 @@ class QueryService:
             raise ValueError("cache_size must be >= 1")
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
+        self._backend = check_backend(backend)
         if artifact_cache is None:
             from ..api.cache import ArtifactCache
 
@@ -263,6 +284,13 @@ class QueryService:
                     publication=publication,
                     answerer=make_answerer(publication),
                 )
+                cube = publication.__dict__.get("_count_cube")
+                if cube is not None:
+                    # Register the persisted cube under its content key
+                    # so the shared artifact cache accounts its bytes
+                    # and other holders of equal content can serve from
+                    # it; eviction below drops it by the same digest.
+                    self._artifacts.put(("cube", record.pub_id), cube)
                 with self._cache_lock:
                     # Only the canonical id occupies an LRU slot; prefix
                     # lookups resolve through the alias map, so aliases
@@ -291,9 +319,14 @@ class QueryService:
                             self._artifacts.table_key(s.table) == table_digest
                             for s in self._cache.values()
                         ):
-                            self._artifacts.invalidate(
-                                "mask_engine", digest=table_digest
-                            )
+                            for kind in (
+                                "mask_engine",
+                                "cube_table",
+                                "cube_measure_table",
+                            ):
+                                self._artifacts.invalidate(
+                                    kind, digest=table_digest
+                                )
                         with self.stats.lock:
                             self.stats.cache_evictions += 1
                     with self.stats.lock:
@@ -337,6 +370,14 @@ class QueryService:
             pub_id, batch = taken
             self._answer_batch(pub_id, batch)
 
+    def serving_backend(self, pub_id: str) -> "str | None":
+        """Backend label that answered ``pub_id``'s most recent batch
+        ("cube" / "bitmap" / "ec"), or None if not loaded / not yet
+        asked."""
+        with self._cache_lock:
+            serving = self._cache.get(self._aliases.get(pub_id, pub_id))
+            return serving.backend if serving is not None else None
+
     def _answer_batch(self, pub_id: str, batch: list) -> None:
         queries = tuple(query for query, _ in batch)
         futures = [future for _, future in batch]
@@ -347,21 +388,32 @@ class QueryService:
                 estimates = self._evaluator.estimates(
                     serving.publication, enc
                 )
+                label = "bitmap"  # cubes are not shipped to the pool
             else:
+                served: dict = {}
                 estimates = batch_estimates(
                     serving.table,
                     {"served": serving.answerer},
                     enc,
                     artifacts=self._artifacts,
+                    backend=self._backend,
+                    served=served,
                 )["served"]
+                label = served.get("served", "bitmap")
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             for future in futures:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
+        serving.backend = label
         with self.stats.lock:
             self.stats.batches += 1
             self.stats.batched_queries += len(batch)
+            self.stats.served_by_backend[label] = (
+                self.stats.served_by_backend.get(label, 0) + 1
+            )
+            if label == "bitmap" and self._backend != "bitmap":
+                self.stats.cube_fallbacks += 1
         for future, estimate in zip(futures, estimates):
             if not future.cancelled():
                 future.set_result(float(estimate))

@@ -45,6 +45,7 @@ from ..io import (
     read_publication_payload,
     write_publication_payload,
 )
+from ..query.cube import CountCube, build_count_cube
 
 #: Requirement keys :func:`certify_publication` understands.
 REQUIREMENT_KEYS = ("beta", "enhanced", "t", "ordered", "l")
@@ -343,6 +344,7 @@ class PublicationStore:
         cache=None,
         name: str | None = None,
         parent: "str | PublicationRecord | None" = None,
+        cube: bool = True,
     ) -> PublicationRecord:
         """Certify and persist a publication; returns its record.
 
@@ -363,6 +365,15 @@ class PublicationStore:
         land in the manifest and surface through :meth:`versions` /
         :meth:`latest`.  A dangling parent is refused up front — lineage
         is only useful if every recorded edge resolves.
+
+        ``cube`` (default True) materializes the publication's
+        prefix-sum :class:`~repro.query.cube.CountCube` at admission
+        time and persists it inside the payload under ``aux_``-prefixed
+        names, which :func:`repro.io.content_digest` excludes — so the
+        publication id is identical with or without the cube, and
+        :meth:`get` hands the serving layer a cube-equipped object.
+        Publications whose domain exceeds the cube budget simply admit
+        without one (the bitmap engine serves them).
         """
         if cache is None:
             cache = self.cache
@@ -404,14 +415,34 @@ class PublicationStore:
             "name": name,
             "parent": parent,
         }
+        count_cube = None
+        if cube:
+            if "_count_cube" in published.__dict__:
+                count_cube = published._count_cube
+            else:
+                count_cube = build_count_cube(published)
+            # Memoize on the object either way: None records "over
+            # budget" so the backend seam never re-attempts the build.
+            published._count_cube = count_cube
+            if count_cube is not None:
+                cube_meta, cube_arrays = count_cube.to_payload()
+                meta["aux_cube"] = cube_meta
+                arrays.update(cube_arrays)
         directory.mkdir(parents=True, exist_ok=True)
         # Both files land via temp-name + rename, so whatever exists is
         # complete: a crash mid-write leaves only a .tmp sibling, and a
         # payload that survived an earlier admission can be trusted.
-        if not (directory / "payload.npz").exists():
-            write_publication_payload(
-                meta, arrays, directory / "payload.npz"
-            )
+        payload_path = directory / "payload.npz"
+        needs_payload = not payload_path.exists()
+        if not needs_payload and count_cube is not None:
+            # Upgrade path: a payload admitted before cubes existed (or
+            # with cube=False) gains its aux arrays on re-admission.
+            with np.load(payload_path) as archive:
+                needs_payload = not any(
+                    n.startswith("aux_") for n in archive.files
+                )
+        if needs_payload:
+            write_publication_payload(meta, arrays, payload_path)
         # Manifest is written last: its presence marks a complete object.
         manifest_tmp = directory / "manifest.json.tmp"
         manifest_tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
@@ -486,7 +517,13 @@ class PublicationStore:
         return chain[-1]
 
     def get(self, pub_id: str):
-        """Load a publication back into its answerable object form."""
+        """Load a publication back into its answerable object form.
+
+        When the payload carries a persisted count cube (``aux_``
+        entries; see :meth:`put`), the cube is restored and attached to
+        the returned object, so the serving layer's ``auto`` backend
+        can answer from it without rebuilding anything.
+        """
         pub_id = self.resolve(pub_id)
         meta, arrays = read_publication_payload(
             self._objects / pub_id / "payload.npz"
@@ -501,6 +538,9 @@ class PublicationStore:
         # stamping the id lets content-keyed facade caches treat it as
         # the same publication (the whole point of content addressing).
         published._content_digest = pub_id
+        cube_meta = meta.get("aux_cube")
+        if cube_meta is not None:
+            published._count_cube = CountCube.from_payload(cube_meta, arrays)
         return published
 
     # ------------------------------------------------------------------

@@ -263,8 +263,11 @@ class TestCacheSemantics:
             store, requirement={"beta": 2.0}
         )
         w = ds.workload(10, 1, 0.2)
+        # backend="bitmap" forces the mask-engine path; under the
+        # default "auto" the anatomy publication is served from its
+        # precomputed count cube and the engine is never built.
         with QueryService(
-            store, cache_size=1, artifact_cache=ds.cache
+            store, cache_size=1, artifact_cache=ds.cache, backend="bitmap"
         ) as service:
             service.answer(first.pub_id, w)
             engine_key = ("mask_engine", ds.content_key)
