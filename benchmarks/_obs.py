@@ -1,0 +1,51 @@
+"""Shared ``telemetry`` block builder for the bench JSON reports.
+
+Every ``BENCH_*.json`` carries a ``telemetry`` block so the perf
+trajectory records what the instrumented stack actually emits: span
+counts by name from a tracing-enabled probe of the bench's primary
+instrumented path, plus exact p50/p99 of the probe's wall time observed
+through the same :class:`repro.obs.MetricsRegistry` histogram machinery
+the runtime uses.  The probe runs *after* the bench's measured sections
+(never inside them) so the recorded floors stay untouched; heavy
+benches probe at reduced scale and say so in the block's ``note``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import MetricsRegistry, Telemetry
+
+__all__ = ["telemetry_block"]
+
+
+def telemetry_block(probe, repeats: int = 3, note: "str | None" = None) -> dict:
+    """Run ``probe(telemetry)`` with tracing enabled ``repeats`` times.
+
+    Returns the JSON block: ``span_counts`` (name -> count, from the
+    last run — identical across runs by the determinism contract) and
+    ``timed_section_seconds`` (count/mean/p50/p90/p99/max over the
+    repeated probe wall times).
+    """
+    registry = MetricsRegistry()
+    span_counts: dict[str, int] = {}
+    for _ in range(repeats):
+        telemetry = Telemetry(enabled=True)
+        start = time.perf_counter()
+        probe(telemetry)
+        registry.observe("probe_seconds", time.perf_counter() - start)
+        span_counts = {}
+        for record in telemetry.tracer.export():
+            name = record["name"]
+            span_counts[name] = span_counts.get(name, 0) + 1
+    hist = registry.snapshot()["histograms"]["probe_seconds"]
+    block = {
+        "span_counts": dict(sorted(span_counts.items())),
+        "timed_section_seconds": {
+            key: hist[key]
+            for key in ("count", "mean", "p50", "p90", "p99", "max")
+        },
+    }
+    if note:
+        block["note"] = note
+    return block

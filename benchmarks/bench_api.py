@@ -48,6 +48,7 @@ from pathlib import Path
 import numpy as np
 
 import repro.query.evaluate as evaluate_module
+from _obs import telemetry_block
 from repro.api import Dataset
 from repro.audit import clear_view_cache
 from repro.audit.evaluate import _audit_publications
@@ -239,6 +240,17 @@ def main() -> None:
         },
         "artifact_cache": cache_stats,
     }
+
+    def probe(tel):
+        clear_global_caches()
+        ds = Dataset(table, telemetry=tel)
+        run = ds.anonymize("burel", beta=2.0)
+        run.audit(ordered_emd=True)
+        run.evaluate(queries[:200])
+
+    report["telemetry"] = telemetry_block(
+        probe, note="anonymize + audit + evaluate probe, 200 queries"
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if speedup < args.floor:

@@ -37,6 +37,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro import attacks as scalar_attacks
 from repro import audit
 from repro import metrics as scalar_metrics
@@ -219,6 +220,22 @@ def main() -> None:
             "batch_seconds": round(warm_seconds, 6),
         },
     }
+
+    probe_table = (
+        table if table.n_rows <= 30_000 else table.subset(np.arange(30_000))
+    )
+
+    def probe(tel):
+        from repro.api import Dataset
+
+        Dataset(probe_table, telemetry=tel).anonymize(
+            "burel", beta=2.0
+        ).audit()
+
+    report["telemetry"] = telemetry_block(
+        probe,
+        note=f"anonymize + audit probe at {probe_table.n_rows} rows",
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if speedup < args.floor:

@@ -37,7 +37,9 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro.anonymity import BaselinePublication, anatomize
+from repro.api import Dataset
 from repro.core import burel, perturb_table
 from repro.dataset import DEFAULT_QI, make_census
 from repro.query import (
@@ -231,6 +233,13 @@ def main() -> None:
         },
         "fallback": bench_fallback(min(args.queries, 1_000)),
     }
+
+    def probe(tel):
+        Dataset(table, telemetry=tel).evaluate(publications, queries[:500])
+
+    report["telemetry"] = telemetry_block(
+        probe, note="facade evaluate probe over all four formats, 500 queries"
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if speedup < args.floor:

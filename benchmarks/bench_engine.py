@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro.core import BetaLikeness, beta_eligibility, bi_split, dp_partition
 from repro.core.retrieve import HilbertRetriever
 from repro.dataset import DEFAULT_QI, make_census
@@ -154,6 +155,16 @@ def main() -> None:
         ],
         "run_many": bench_run_many(table),
     }
+    probe_table = (
+        table if table.n_rows <= 30_000 else table.subset(np.arange(30_000))
+    )
+    report["telemetry"] = telemetry_block(
+        lambda tel: engine_run("burel", probe_table, beta=BETA, telemetry=tel),
+        note=(
+            None if probe_table is table
+            else f"engine.run probe at {probe_table.n_rows} rows"
+        ),
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     sweep = report["materialization"][0]

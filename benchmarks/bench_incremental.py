@@ -48,6 +48,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro.api import ArtifactCache, Dataset
 from repro.dataset.synthetic import synthetic
 from repro.dataset.table import Table
@@ -196,6 +197,22 @@ def main() -> None:
             "lineage_round_trip": lineage_ok,
         },
     }
+
+    probe_table = synthetic(50_000, **SYNTHETIC)
+
+    def probe(tel):
+        pds = Dataset(probe_table, telemetry=tel)
+        pds.anonymize(ALGORITHM, beta=BETA, rng=SEED, shards=8)
+        pstate = pds.version_state()
+        pds.append(
+            make_delta(probe_table, pstate.plan, 500, np.random.default_rng(3))
+        )
+        pds.refresh()
+        pds.close_parallel()
+
+    report["telemetry"] = telemetry_block(
+        probe, note="append + refresh probe at 50000 rows x 8 shards"
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
 

@@ -60,6 +60,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from bench_api import clear_global_caches  # noqa: F401  (same directory)
 from repro.api import Dataset
 from repro.audit.evaluate import _audit_publications
@@ -286,6 +287,26 @@ def main() -> None:
             "speedup": round(speedup, 2),
         },
     }
+
+    probe_rows = min(args.rows, 50_000)
+    probe_table = (
+        table if probe_rows == args.rows
+        else table.subset(np.arange(probe_rows))
+    )
+
+    def probe(tel):
+        clear_global_caches()
+        with ShardedSession(
+            probe_table, workers=args.workers, shards=shards, telemetry=tel
+        ) as session:
+            run = session.anonymize(ALGORITHM, beta=BETA, seed=SEED)
+            run.audit()
+            session.answers(run, queries[:200])
+
+    report["telemetry"] = telemetry_block(
+        probe,
+        note=f"sharded chain probe at {probe_rows} rows, 200 queries",
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if speedup < args.floor:

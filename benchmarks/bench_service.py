@@ -43,6 +43,7 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro.anonymity import BaselinePublication
 from repro.dataset import CENSUS_QI_ORDER, make_census
 from repro.query import make_answerer, make_workload
@@ -176,6 +177,16 @@ def main() -> None:
             )
             stats = service.stats_snapshot()
 
+        def probe(tel):
+            with QueryService(
+                store, workers=args.workers, cache_size=8, telemetry=tel
+            ) as probe_service:
+                probe_service.answer(pub_ids["generalized"], queries[:500])
+
+        telemetry = telemetry_block(
+            probe, note="serve probe, generalized publication, 500 queries"
+        )
+
     report = {
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
         "rows": args.rows,
@@ -189,6 +200,7 @@ def main() -> None:
         "cpu_count": os.cpu_count(),
         "host": platform.platform(),
         "service_stats": stats,
+        "telemetry": telemetry,
         "kinds": {},
         "byte_equal": {},
     }

@@ -34,7 +34,9 @@ from pathlib import Path
 
 import numpy as np
 
+from _obs import telemetry_block
 from repro.anonymity import BaselinePublication, anatomize
+from repro.api import Dataset
 from repro.core import perturb_table
 from repro.dataset import CENSUS_QI_ORDER, make_census
 from repro.engine import run_many
@@ -249,6 +251,15 @@ def main() -> None:
             table, queries, publications[4.0]["BUREL"]
         ),
     }
+
+    def probe(tel):
+        ds = Dataset(table, telemetry=tel)
+        run = ds.anonymize("burel", beta=4.0)
+        ds.evaluate({"burel": run.published}, queries[:200])
+
+    report["telemetry"] = telemetry_block(
+        probe, note="anonymize + evaluate probe, 200 queries"
+    )
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     if speedup < args.floor:

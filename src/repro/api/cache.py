@@ -38,6 +38,7 @@ import numpy as np
 
 from ..dataset.table import Table
 from ..io import publication_digest, table_digest
+from ..obs import NULL_TELEMETRY, Telemetry
 
 #: Artifact kinds the layers store (key[0] values); informational — the
 #: cache accepts any tuple key whose first element names the kind.
@@ -97,6 +98,13 @@ class ArtifactCache:
             When set, least-recently-used entries are dropped until the
             estimated total fits (the most recent entry always stays,
             even when it alone exceeds the budget).
+        telemetry: Optional :class:`repro.obs.Telemetry`; when enabled,
+            builds/hits/evictions/invalidations are counted per artifact
+            kind (``cache.hit.<kind>``, ...) in its registry and the
+            held-bytes gauge tracks insertions.  Assignable after
+            construction (``cache.telemetry = tel``) — a
+            :class:`~repro.api.Dataset` attaches its session telemetry
+            to the cache it is given.
 
     Thread-safe: the query service shares one cache across its worker
     pool.  Entry sizes are estimated at insertion time
@@ -104,10 +112,16 @@ class ArtifactCache:
     per-metric memo) are deliberately not re-measured on every touch.
     """
 
-    def __init__(self, max_bytes: int | None = None):
+    def __init__(
+        self,
+        max_bytes: int | None = None,
+        *,
+        telemetry: "Telemetry | None" = None,
+    ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None)")
         self.max_bytes = max_bytes
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
         self._nbytes = 0
         self._lock = threading.RLock()
@@ -151,6 +165,7 @@ class ArtifactCache:
             if hit is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                self.telemetry.count(f"cache.hit.{key[0]}")
                 return hit[0]
             build_lock = self._building.setdefault(key, threading.RLock())
         with build_lock:
@@ -160,12 +175,14 @@ class ArtifactCache:
                 if hit is not None:
                     self._entries.move_to_end(key)
                     self._hits += 1
+                    self.telemetry.count(f"cache.hit.{key[0]}")
                     return hit[0]
             try:
                 value = build()
                 with self._lock:
                     self._misses += 1
                     self._put_locked(key, value)
+                self.telemetry.count(f"cache.miss.{key[0]}")
                 return value
             finally:
                 with self._lock:
@@ -190,15 +207,17 @@ class ArtifactCache:
         nbytes = estimate_nbytes(value)
         self._entries[key] = (value, nbytes)
         self._nbytes += nbytes
-        if self.max_bytes is None:
-            return
-        while self._nbytes > self.max_bytes and len(self._entries) > 1:
-            oldest = next(iter(self._entries))
-            if oldest == key:
-                break
-            _, dropped = self._entries.pop(oldest)
-            self._nbytes -= dropped
-            self._evictions += 1
+        if self.max_bytes is not None:
+            while self._nbytes > self.max_bytes and len(self._entries) > 1:
+                oldest = next(iter(self._entries))
+                if oldest == key:
+                    break
+                _, dropped = self._entries.pop(oldest)
+                self._nbytes -= dropped
+                self._evictions += 1
+                self.telemetry.count(f"cache.evict.{oldest[0]}")
+        if self.telemetry.enabled:
+            self.telemetry.gauge("cache.nbytes", self._nbytes)
 
     # ------------------------------------------------------------------
     # Invalidation and introspection

@@ -42,6 +42,7 @@ from ..dataset.table import Table
 from ..engine import run as engine_run
 from ..engine.batch import EngineJob, PreparedTable, run_many
 from ..metrics.errors import ErrorProfile
+from ..obs import Telemetry, coerce_telemetry
 from ..query.evaluate import (
     TableMaskEngine,
     _evaluate_workload,
@@ -60,18 +61,40 @@ class Dataset:
         cache: Optional :class:`ArtifactCache` to share with other
             facades / services; a private unbounded one is created by
             default.
+        telemetry: Optional :class:`repro.obs.Telemetry` — the session's
+            tracing and metrics sink.  When enabled, every chain step
+            (anonymize, audit, evaluate, sweep, append, refresh) opens
+            spans, sharded runs adopt their workers' span buffers, and
+            the artifact cache counts hits/misses/evictions per kind.
+            Disabled (the default), every instrumented path short-
+            circuits on one attribute check — results are byte-identical
+            either way.  Reach it through :meth:`telemetry`.
     """
 
-    def __init__(self, table: Table, *, cache: ArtifactCache | None = None):
+    def __init__(
+        self,
+        table: Table,
+        *,
+        cache: ArtifactCache | None = None,
+        telemetry: "Telemetry | None" = None,
+    ):
         if not isinstance(table, Table):
             raise TypeError(
                 f"Dataset wraps a repro Table, got {type(table).__name__!r}"
             )
         self.table = table
         self.cache = cache if cache is not None else ArtifactCache()
+        self._telemetry = coerce_telemetry(telemetry)
+        if self._telemetry.enabled:
+            self.cache.telemetry = self._telemetry
         self._prepared: PreparedTable | None = None
         self._sharded: dict = {}
         self._version = None  # VersionState of the last sharded run
+
+    def telemetry(self) -> Telemetry:
+        """The session's :class:`repro.obs.Telemetry` (the no-op
+        singleton when none was attached)."""
+        return self._telemetry
 
     # ------------------------------------------------------------------
     # Context manager (releases worker pools / shared memory)
@@ -97,6 +120,7 @@ class Dataset:
         correlation: float = 0.3,
         qi_names: Sequence[str] | None = None,
         cache: ArtifactCache | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> "Dataset":
         """A facade over the synthetic CENSUS generator (Table 3)."""
         from ..dataset.census import make_census
@@ -109,6 +133,7 @@ class Dataset:
                 qi_names=tuple(qi_names) if qi_names is not None else None,
             ),
             cache=cache,
+            telemetry=telemetry,
         )
 
     @classmethod
@@ -120,6 +145,7 @@ class Dataset:
         sensitive: str,
         numerical: Sequence[str] = (),
         cache: ArtifactCache | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> "Dataset":
         """A facade over a raw CSV file (the CLI's loading path)."""
         from ..io import load_csv_table
@@ -132,6 +158,7 @@ class Dataset:
                 numerical=list(numerical),
             ),
             cache=cache,
+            telemetry=telemetry,
         )
 
     # ------------------------------------------------------------------
@@ -238,7 +265,8 @@ class Dataset:
         session = self._sharded.get(key)
         if session is None:
             session = ShardedSession(
-                self.table, workers=workers, shards=shards, cache=self.cache
+                self.table, workers=workers, shards=shards, cache=self.cache,
+                telemetry=self._telemetry,
             )
             self._sharded[key] = session
         return session
@@ -315,6 +343,10 @@ class Dataset:
         delta = self._coerce_delta(rows)
         if delta.n_rows == 0:
             return 0
+        with self._telemetry.span("facade.append", rows=delta.n_rows):
+            return self._append(delta, qi_space_keys)
+
+    def _append(self, delta: Table, qi_space_keys) -> int:
         old = self.table
         old_key = self.content_key
         cached_keys = self.cache.get(("hilbert_keys", old_key))
@@ -363,7 +395,10 @@ class Dataset:
                 "refresh() needs a tracked baseline: run "
                 "anonymize(algorithm, shards=N) first"
             )
-        return refresh_state(self, self._version)
+        with self._telemetry.span(
+            "facade.refresh", dirty=len(self._version.dirty)
+        ):
+            return refresh_state(self, self._version)
 
     # ------------------------------------------------------------------
     # The fluent chain
@@ -406,7 +441,8 @@ class Dataset:
             self._track(session, run, algorithm, params, rng)
             return run
         result = engine_run(
-            algorithm, self.table, rng=rng, shared=self.prepared(), **params
+            algorithm, self.table, rng=rng, shared=self.prepared(),
+            telemetry=self._telemetry, **params,
         )
         return AnonymizationRun(
             self, result, seed=rng if isinstance(rng, int) else None
@@ -441,7 +477,10 @@ class Dataset:
         if workers is not None and workers > 1:
             results = self.sharded(workers, 1).sweep(jobs)
         else:
-            results = run_many(self.table, jobs, cache=self.cache)
+            results = run_many(
+                self.table, jobs, cache=self.cache,
+                telemetry=self._telemetry,
+            )
         return [
             AnonymizationRun(self, result, seed=job.seed)
             for job, result in zip(jobs, results)
@@ -494,10 +533,13 @@ class Dataset:
         ``backend="cube"`` are content-keyed in the session cache and
         reused by later evaluations and services sharing it.
         """
-        return _evaluate_workload(
-            self.table, publications, queries, cache=cache,
-            artifacts=self.cache, backend=backend, served=served,
-        )
+        with self._telemetry.span(
+            "facade.evaluate", publications=len(publications)
+        ):
+            return _evaluate_workload(
+                self.table, publications, queries, cache=cache,
+                artifacts=self.cache, backend=backend, served=served,
+            )
 
     def audit(
         self,
@@ -514,10 +556,13 @@ class Dataset:
         are forwarded unchanged (``ordered_emd``, ``n_corrupted``,
         ``compose_with``, ...).
         """
-        return _audit_publications(
-            self.table, publications, attacks=attacks, cache=self.cache,
-            **kwargs,
-        )
+        with self._telemetry.span(
+            "facade.audit", publications=len(publications)
+        ):
+            return _audit_publications(
+                self.table, publications, attacks=attacks, cache=self.cache,
+                **kwargs,
+            )
 
 
 class AnonymizationRun:

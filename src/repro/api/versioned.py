@@ -269,6 +269,7 @@ def refresh_state(dataset, state: VersionState) -> RefreshRun:
                 keys=keys[shard.rows],
                 sa_distribution=state.sa_distribution,
                 rng=rng,
+                telemetry=dataset.telemetry(),
                 **state.params,
             )
             return shard_artifact(shard.rows, piece)

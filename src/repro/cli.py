@@ -13,6 +13,9 @@ Usage::
     repro append data.csv delta.csv --store pubs/ --name census \\
         --qi Age --numerical Age --sensitive Disease --beta 2 --shards 8
     repro query --store pubs/ --id 3fa9 --queries 1000 --theta 0.1
+    repro publish data.csv --store pubs/ --qi Age --numerical Age \\
+        --sensitive Disease --beta 2 --trace trace.json
+    repro stats trace.json
 
 (``python -m repro.cli`` works identically when the console script is
 not installed.)
@@ -47,8 +50,12 @@ is refused like any other publication.
 
 ``--seed`` feeds the engine's uniform rng parameter: omitted means the
 algorithm's deterministic behaviour (e.g. BUREL's Hilbert sweep); given,
-it seeds the randomized variant.  ``--verbose`` surfaces the engine's
-per-stage timings (and the service's batching statistics).
+it seeds the randomized variant.  ``--verbose`` attaches a session
+:class:`repro.obs.Telemetry` and prints one uniform report across every
+subcommand — the span tree (engine stages, per-shard runs, serve
+batches) plus metric summaries; ``--trace out.json`` writes the same
+session as a Chrome trace-event file, which ``repro stats out.json``
+renders back in the terminal.
 
 Categorical QI columns get flat hierarchies from their observed values;
 for domain hierarchies, use the library API instead.
@@ -112,9 +119,20 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
         "--seed", type=int, default=None,
         help="rng seed; omit for the deterministic variant",
     )
+    _add_obs_args(parser)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--verbose", action="store_true",
-        help="print the engine's per-stage timings",
+        help="print the session's span tree and metrics "
+             "(per-stage timings, cache and service counters)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="write the session's telemetry as a Chrome trace-event "
+             "file (open in chrome://tracing or Perfetto; readable "
+             "back via 'repro stats OUT.json')",
     )
 
 
@@ -243,11 +261,18 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default=None,
         help="write queries + estimates as JSON",
     )
-    query.add_argument(
-        "--verbose", action="store_true",
-        help="print service batching statistics",
-    )
+    _add_obs_args(query)
     _add_workers_arg(query)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a --trace file: span tree plus metric summaries",
+    )
+    stats.add_argument("trace", help="JSON file written by --trace")
+    stats.add_argument(
+        "--json", action="store_true",
+        help="print the span tree + metrics as JSON instead of text",
+    )
     return parser
 
 
@@ -302,25 +327,38 @@ def _requirement(args: argparse.Namespace) -> dict:
     return {"beta": args.beta, "enhanced": not args.basic}
 
 
+def _telemetry(args):
+    """One session :class:`repro.obs.Telemetry` when --verbose/--trace
+    ask for it, else None (the disabled no-op path everywhere)."""
+    from .obs import Telemetry
+
+    if getattr(args, "verbose", False) or getattr(args, "trace", None):
+        return Telemetry(enabled=True)
+    return None
+
+
 def _print_stages(result, verbose: bool) -> None:
+    """The one-line per-run stage summary (span-derived timings)."""
     if not verbose:
         return
-    stages = "  ".join(
-        f"{name}={seconds:.3f}s"
-        for name, seconds in result.stage_seconds.items()
-    )
-    print(f"stages: {stages}")
-    sharded = result.provenance.get("sharded")
-    if sharded:
-        print(f"sharded over {sharded['n_shards']} Hilbert-key ranges, "
-              f"{sharded['workers']} worker(s)")
-        for rec in sharded["shards"]:
-            per_stage = "  ".join(
-                f"{name}={seconds:.3f}s"
-                for name, seconds in rec["stage_seconds"].items()
-            )
-            print(f"  shard {rec['index']} ({rec['n_rows']} rows, "
-                  f"keys [{rec['key_lo']}, {rec['key_hi']}]): {per_stage}")
+    from .obs import format_stage_seconds
+
+    print(f"stages: {format_stage_seconds(result.stage_seconds)}")
+
+
+def _emit_telemetry(args, telemetry) -> None:
+    """The shared --verbose / --trace tail of every subcommand:
+    one span-tree + metrics report, one Chrome trace file."""
+    if telemetry is None:
+        return
+    if getattr(args, "verbose", False):
+        from .obs import format_report
+
+        print(format_report(telemetry.snapshot()))
+    trace = getattr(args, "trace", None)
+    if trace:
+        telemetry.write_trace(trace)
+        print(f"wrote trace -> {trace}")
 
 
 def _workers(args: argparse.Namespace) -> "int | None":
@@ -328,12 +366,15 @@ def _workers(args: argparse.Namespace) -> "int | None":
     return args.workers if args.workers and args.workers > 1 else None
 
 
-def _load_dataset(args: argparse.Namespace) -> Dataset:
+def _load_dataset(
+    args: argparse.Namespace, telemetry=None
+) -> Dataset:
     ds = Dataset.from_csv(
         args.input,
         qi=_split(args.qi),
         sensitive=args.sensitive,
         numerical=_split(args.numerical),
+        telemetry=telemetry,
     )
     print(f"loaded {ds.n_rows} tuples, "
           f"{ds.schema.n_qi} QI attributes, "
@@ -342,7 +383,8 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
 
 
 def _run_generalize(args: argparse.Namespace) -> int:
-    with _load_dataset(args) as ds:
+    telemetry = _telemetry(args)
+    with _load_dataset(args, telemetry) as ds:
         result = ds.anonymize(
             args.algorithm, rng=args.seed, workers=_workers(args),
             **_algorithm_params(args)
@@ -356,6 +398,7 @@ def _run_generalize(args: argparse.Namespace) -> int:
 
             print(f"measured privacy: "
                   f"{audit_privacy_profile(result.view())}")
+            _emit_telemetry(args, telemetry)
             return 0
         write_generalized_csv(result.published, args.output)
         print(f"published {len(result.published)} equivalence classes "
@@ -364,11 +407,13 @@ def _run_generalize(args: argparse.Namespace) -> int:
         print(f"measured privacy: {privacy_profile(result.published)}")
         print(f"average information loss: "
               f"{average_information_loss(result.published):.4f}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
 def _run_perturb(args: argparse.Namespace) -> int:
-    with _load_dataset(args) as ds:
+    telemetry = _telemetry(args)
+    with _load_dataset(args, telemetry) as ds:
         seed = args.seed if args.seed is not None else 0
         result = ds.anonymize(
             "perturb",
@@ -380,13 +425,15 @@ def _run_perturb(args: argparse.Namespace) -> int:
         _print_stages(result, args.verbose)
         print(f"sensitive values kept intact: "
               f"{result.published.retention_rate():.2%}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
 def _run_publish(args: argparse.Namespace) -> int:
     from .service import CertificationError, PublicationStore
 
-    ds = _load_dataset(args)
+    telemetry = _telemetry(args)
+    ds = _load_dataset(args, telemetry)
     store = PublicationStore(args.store, cache=ds.cache)
     requirement = _requirement(args)
     rng = args.seed
@@ -415,6 +462,7 @@ def _run_publish(args: argparse.Namespace) -> int:
           + (f", {record.n_groups} groups" if record.n_groups else "")
           + ")")
     print(f"id: {record.pub_id}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
@@ -422,7 +470,8 @@ def _run_append(args: argparse.Namespace) -> int:
     from .io import load_csv_table
     from .service import CertificationError, PublicationStore
 
-    ds = _load_dataset(args)
+    telemetry = _telemetry(args)
+    ds = _load_dataset(args, telemetry)
     store = PublicationStore(args.store, cache=ds.cache)
     requirement = _requirement(args)
     with ds:
@@ -474,6 +523,7 @@ def _run_append(args: argparse.Namespace) -> int:
             rec.pub_id[:12] for rec in store.versions(args.name)
         )
         print(f"lineage {args.name!r}: {chain}")
+    _emit_telemetry(args, telemetry)
     return 0
 
 
@@ -481,13 +531,14 @@ def _run_query(args: argparse.Namespace) -> int:
     from .query import make_workload
     from .service import PublicationStore, QueryService
 
+    telemetry = _telemetry(args)
     store = PublicationStore(args.store)
     workers = _workers(args)
     service_kwargs = (
         {"workers": workers, "executor": "process"} if workers else {}
     )
     with QueryService(
-        store, backend=args.backend, **service_kwargs
+        store, backend=args.backend, telemetry=telemetry, **service_kwargs
     ) as service:
         try:
             record = service.load(args.pub_id)
@@ -532,6 +583,28 @@ def _run_query(args: argparse.Namespace) -> int:
         with open(args.output, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote estimates -> {args.output}")
+    _emit_telemetry(args, telemetry)
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from .obs import format_report, load_trace, span_tree
+
+    try:
+        payload = load_trace(args.trace)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(
+            {
+                "spans": span_tree(payload.get("spans", [])),
+                "metrics": payload.get("metrics", {}),
+            },
+            indent=2,
+        ))
+        return 0
+    print(format_report(payload))
     return 0
 
 
@@ -545,6 +618,8 @@ def run(argv: list[str] | None = None) -> int:
         return _run_publish(args)
     if args.command == "append":
         return _run_append(args)
+    if args.command == "stats":
+        return _run_stats(args)
     return _run_query(args)
 
 

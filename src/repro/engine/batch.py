@@ -114,6 +114,7 @@ def run_many(
     jobs: Sequence[EngineJob | tuple],
     *,
     cache=None,
+    telemetry=None,
 ) -> list[RunResult]:
     """Run a batch of anonymization jobs with shared preprocessing.
 
@@ -124,6 +125,8 @@ def run_many(
         cache: Optional :class:`repro.api.ArtifactCache`; per-table
             preprocessing is then keyed by content digest, shared with
             other batches (and facades) over the same cache.
+        telemetry: Optional :class:`repro.obs.Telemetry`; each job's
+            pipeline spans land in it (see :meth:`Pipeline.run`).
 
     Returns:
         One :class:`~repro.engine.pipeline.RunResult` per job, in order.
@@ -151,6 +154,7 @@ def run_many(
                 shared.table,
                 rng=job.seed,
                 shared=shared,
+                telemetry=telemetry,
                 **dict(job.params),
             )
         )

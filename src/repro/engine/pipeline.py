@@ -17,13 +17,13 @@ times each one, so per-stage provenance is comparable across algorithms.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from ..dataset.table import Table
+from ..obs import Telemetry
 
 #: Canonical stage names, in execution order.
 STAGES = ("prepare", "partition", "allocate", "materialize", "publish")
@@ -115,27 +115,42 @@ class Pipeline:
         rng: np.random.Generator | None = None,
         shared: Any = None,
         sink: Callable[[RunResult], None] | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> RunResult:
-        """Execute the stages in order, timing each.
+        """Execute the stages in order, one span per stage.
 
         ``sink``, when given, receives the finished :class:`RunResult`
         right after the publish stage — the hook the
         :mod:`repro.service` publication store uses to certify and
         persist runs (a sink that raises aborts the run, so nothing is
         returned for a publication the sink refused).
+
+        ``telemetry``, when given and enabled, receives the run's spans
+        (``engine.run`` wrapping one ``engine.<stage>`` per executed
+        stage).  :attr:`RunResult.stage_seconds` is *derived from those
+        spans* either way: a disabled/absent telemetry gets a private
+        run-scoped tracer, so the result record is identical in shape
+        and the session trace only gains spans when asked to.
         """
         if table.n_rows == 0:
             raise ValueError("cannot anonymize an empty table")
+        tel = (
+            telemetry
+            if telemetry is not None and telemetry.enabled
+            else Telemetry()
+        )
         ctx = PipelineContext(
             table=table, params=dict(params), rng=rng, shared=shared
         )
         stage_seconds: dict[str, float] = {}
-        start = time.perf_counter()
-        for name, fn in self.stages:
-            stage_start = time.perf_counter()
-            fn(ctx)
-            stage_seconds[name] = time.perf_counter() - stage_start
-        elapsed = time.perf_counter() - start
+        with tel.span(
+            "engine.run", algorithm=self.algorithm, rows=table.n_rows
+        ) as root:
+            for name, fn in self.stages:
+                with tel.span(f"engine.{name}") as span:
+                    fn(ctx)
+                stage_seconds[name] = span.duration
+        elapsed = root.duration
         if ctx.published is None:
             raise RuntimeError(
                 f"pipeline {self.algorithm!r} finished without publishing"

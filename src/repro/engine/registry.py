@@ -79,6 +79,7 @@ def run(
     rng: np.random.Generator | int | None = None,
     shared: Any = None,
     sink: Callable[[RunResult], None] | None = None,
+    telemetry=None,
     **params: Any,
 ) -> RunResult:
     """Anonymize ``table`` with the named algorithm.
@@ -93,6 +94,8 @@ def run(
         sink: Optional hook receiving the :class:`RunResult` right after
             the publish stage (the :mod:`repro.service` store admission
             path).
+        telemetry: Optional :class:`repro.obs.Telemetry` receiving the
+            run's per-stage spans (see :meth:`Pipeline.run`).
         **params: Algorithm parameters; unknown names are rejected.
 
     Returns:
@@ -113,5 +116,6 @@ def run(
     merged = {**algo.defaults, **params}
     pipeline = Pipeline(name, algo.stages())
     return pipeline.run(
-        table, merged, rng=_resolve_rng(rng), shared=shared, sink=sink
+        table, merged, rng=_resolve_rng(rng), shared=shared, sink=sink,
+        telemetry=telemetry,
     )

@@ -88,6 +88,7 @@ def run_shard(
     keys: np.ndarray,
     sa_distribution: np.ndarray,
     rng=None,
+    telemetry=None,
     **params,
 ) -> ShardPiece:
     """Anonymize one shard table; return its publication in compact form.
@@ -103,6 +104,7 @@ def run_shard(
         table,
         rng=rng,
         shared=prepare_shard(table, keys, sa_distribution),
+        telemetry=telemetry,
         **params,
     )
     published = result.published

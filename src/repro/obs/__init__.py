@@ -1,0 +1,253 @@
+"""Cross-layer telemetry: spans, metrics, and trace export.
+
+One :class:`Telemetry` object carries a :class:`~repro.obs.Tracer`
+(nestable timed spans) and a :class:`~repro.obs.MetricsRegistry`
+(counters / gauges / exact-percentile latency histograms) through the
+whole anonymize → audit → publish → evaluate → serve chain:
+
+* the engine :class:`~repro.engine.Pipeline` opens one span per stage
+  (``RunResult.stage_seconds`` derives from them);
+* the :class:`~repro.api.ArtifactCache` counts hits/misses/evictions
+  per artifact kind;
+* the :class:`~repro.service.QueryService` records request latency,
+  queue wait and batch-size histograms plus per-backend serve counters
+  (its ``ServiceStats`` is a view over the registry);
+* :class:`~repro.parallel.ShardedSession` workers buffer their spans
+  and registries per shard and the parent re-parents / merges them, so
+  one session trace covers the pool.
+
+**Disabled is the default and a strict no-op**: ``Telemetry(enabled=
+False)`` hands out one shared null span and skips every metric update
+behind a single ``enabled`` check, so the hot serve path allocates
+nothing and produces byte-identical outputs — enabling telemetry only
+adds observation, never changes a result.
+
+Enable per session::
+
+    from repro import Dataset, Telemetry
+
+    tel = Telemetry()                       # enabled
+    with Dataset.from_census(30_000, telemetry=tel) as ds:
+        run = ds.anonymize("burel", beta=2.0)
+    tel.write_trace("trace.json")           # chrome://tracing loads it
+    print(tel.metrics.snapshot()["counters"])
+
+or via the CLI: ``repro publish ... --trace out.json`` then
+``repro stats out.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .export import (
+    chrome_trace,
+    format_report,
+    format_stage_seconds,
+    load_trace,
+    span_tree,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "NULL_SPAN",
+    "coerce_telemetry",
+    "timed",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "chrome_trace",
+    "span_tree",
+    "write_trace",
+    "load_trace",
+    "format_report",
+    "format_stage_seconds",
+]
+
+
+class _NullSpan:
+    """The shared do-nothing span disabled telemetry hands out.
+
+    A process-wide singleton: entering, exiting, and attribute-setting
+    are no-ops, so instrumented code paths cost one attribute check and
+    zero allocations when telemetry is off.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> "_NullSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<null span>"
+
+
+#: The singleton null span (identity-comparable in tests).
+NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """A tracer + metrics registry pair threaded through the layers.
+
+    Args:
+        enabled: ``False`` makes every operation a strict no-op (the
+            instruments are still constructed so ``snapshot()`` stays
+            callable, but nothing records).
+
+    The layers hold a ``Telemetry`` reference and guard their hot paths
+    on :attr:`enabled`; everything else (span naming, adoption of
+    worker buffers, export) goes through the methods here.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        self.enabled = bool(enabled)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- spans ----------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """A context-managed span, or the shared null span when off."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attributes)
+
+    def adopt_spans(
+        self, records, parent: "Span | None" = None, **attributes: Any
+    ):
+        """Re-parent a worker's span buffer (no-op when disabled)."""
+        if not self.enabled or not records:
+            return []
+        return self.tracer.adopt(records, parent=parent, **attributes)
+
+    # -- metrics shorthands ---------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        if self.enabled:
+            self.metrics.inc(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    def merge_metrics(self, exported) -> None:
+        """Fold a worker registry export in (no-op when disabled)."""
+        if self.enabled and exported:
+            self.metrics.merge(exported)
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time JSON-able view: spans + metrics."""
+        return {
+            "enabled": self.enabled,
+            "spans": self.tracer.export(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def span_tree(self) -> "list[dict]":
+        return span_tree(self.tracer.export())
+
+    def chrome_trace(self) -> "list[dict]":
+        return chrome_trace(self.tracer.export())
+
+    def write_trace(self, path) -> dict:
+        return write_trace(path, self)
+
+    def report(self) -> str:
+        return format_report(self.snapshot())
+
+    def clear(self) -> None:
+        """Drop recorded spans (metrics instruments keep their names)."""
+        self.tracer.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Telemetry({state}, {len(self.tracer)} spans)"
+
+
+#: The process-wide disabled default every layer falls back to when no
+#: telemetry is passed — one shared object, so the "is it on?" check is
+#: a plain attribute load.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+def coerce_telemetry(telemetry) -> Telemetry:
+    """``None`` → the shared disabled default; pass through otherwise."""
+    if telemetry is None:
+        return NULL_TELEMETRY
+    if not isinstance(telemetry, Telemetry):
+        raise TypeError(
+            f"expected a repro.obs.Telemetry (or None), got "
+            f"{type(telemetry).__name__!r}"
+        )
+    return telemetry
+
+
+def timed(telemetry: "Telemetry | None", histogram: str):
+    """Context manager observing a block's wall-clock into a histogram.
+
+    Cheap helper for benches and call sites that want a latency sample
+    without opening a span; a no-op timer when telemetry is off.
+    """
+    return _Timed(coerce_telemetry(telemetry), histogram)
+
+
+class _Timed:
+    __slots__ = ("_telemetry", "_name", "_start", "seconds")
+
+    def __init__(self, telemetry: Telemetry, name: str):
+        self._telemetry = telemetry
+        self._name = name
+        self._start = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_Timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self._start
+        if exc_type is None:
+            self._telemetry.observe(self._name, self.seconds)
+        return False

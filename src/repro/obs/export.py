@@ -1,0 +1,195 @@
+"""Exporters: JSON snapshots, Chrome trace events, terminal reports.
+
+Three consumers of one telemetry session:
+
+* :func:`chrome_trace` — ``chrome://tracing`` / Perfetto "trace event"
+  format: one complete (``"ph": "X"``) event per finished span, with
+  microsecond timestamps rebased to the earliest span, real pids/tids
+  preserved so pool workers render as separate lanes.
+* :func:`write_trace` / :func:`load_trace` — the ``--trace out.json``
+  file: a JSON object with ``traceEvents`` (what Chrome reads; extra
+  top-level keys are permitted by the format and ignored by viewers)
+  plus the span records and the metrics snapshot, so one file feeds
+  both the tracing UI and ``repro stats``.
+* :func:`span_tree` / :func:`format_report` — the programmatic tree and
+  the human summary the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "chrome_trace",
+    "span_tree",
+    "write_trace",
+    "load_trace",
+    "format_report",
+    "format_stage_seconds",
+]
+
+
+def _records(spans: Iterable) -> "list[dict]":
+    return [
+        span if isinstance(span, dict) else span.to_dict() for span in spans
+    ]
+
+
+def chrome_trace(spans: Iterable) -> "list[dict]":
+    """Finished spans as Chrome trace-event dicts (``ph: "X"``)."""
+    records = [r for r in _records(spans) if r.get("end") is not None]
+    if not records:
+        return []
+    epoch = min(r["start"] for r in records)
+    return [
+        {
+            "name": r["name"],
+            "ph": "X",
+            "ts": round((r["start"] - epoch) * 1e6, 3),
+            "dur": round((r["end"] - r["start"]) * 1e6, 3),
+            "pid": r.get("pid", 0),
+            "tid": r.get("tid", 0),
+            "args": dict(r.get("attributes", ())),
+        }
+        for r in records
+    ]
+
+
+def span_tree(spans: Iterable) -> "list[dict]":
+    """The spans as a parent → children forest, in span-id order.
+
+    Each node is ``{"name", "span_id", "duration", "attributes",
+    "children": [...]}`` — the shape ``repro stats`` prints and the
+    bench's round-trip check compares against the programmatic
+    snapshot.
+    """
+    records = _records(spans)
+    nodes = {
+        r["span_id"]: {
+            "name": r["name"],
+            "span_id": r["span_id"],
+            "duration": (
+                round(r["end"] - r["start"], 9)
+                if r.get("end") is not None
+                else None
+            ),
+            "attributes": dict(r.get("attributes", ())),
+            "children": [],
+        }
+        for r in records
+    }
+    roots: list[dict] = []
+    for r in records:
+        node = nodes[r["span_id"]]
+        parent = nodes.get(r.get("parent_id"))
+        if parent is None:
+            roots.append(node)
+        else:
+            parent["children"].append(node)
+    return roots
+
+
+def write_trace(path, telemetry) -> dict:
+    """Write a combined trace file; returns the written payload.
+
+    The file is valid Chrome trace JSON (object form with
+    ``traceEvents``) and also carries the raw span records and the
+    metrics snapshot for ``repro stats`` / programmatic reloads.
+    """
+    spans = telemetry.tracer.export()
+    payload = {
+        "traceEvents": chrome_trace(spans),
+        "spans": spans,
+        "metrics": telemetry.metrics.snapshot(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    return payload
+
+
+def load_trace(path) -> dict:
+    """Read a :func:`write_trace` file back."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+# ----------------------------------------------------------------------
+# Terminal reports
+# ----------------------------------------------------------------------
+
+
+def format_stage_seconds(stage_seconds: "dict[str, float]") -> str:
+    """The one-line ``name=0.123s`` stage summary every subcommand
+    prints."""
+    return "  ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in stage_seconds.items()
+    )
+
+
+def _format_node(node: dict, depth: int, lines: "list[str]") -> None:
+    duration = node["duration"]
+    timing = f"{duration:.3f}s" if duration is not None else "open"
+    attrs = ", ".join(
+        f"{k}={v}" for k, v in node["attributes"].items()
+        if not isinstance(v, (dict, list))
+    )
+    suffix = f"  [{attrs}]" if attrs else ""
+    lines.append(f"{'  ' * depth}{node['name']}  {timing}{suffix}")
+    for child in node["children"]:
+        _format_node(child, depth + 1, lines)
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_report(
+    snapshot: dict, *, max_spans: int = 200
+) -> str:
+    """Human-readable report of a telemetry snapshot / trace file.
+
+    Accepts either :meth:`repro.obs.Telemetry.snapshot` output or a
+    :func:`load_trace` payload (they share the ``spans`` / ``metrics``
+    keys).
+    """
+    lines: list[str] = []
+    spans = snapshot.get("spans", [])
+    if spans:
+        lines.append(f"spans ({len(spans)}):")
+        shown = 0
+        for root in span_tree(spans):
+            before = len(lines)
+            _format_node(root, 1, lines)
+            shown += len(lines) - before
+            if shown >= max_spans:
+                lines.append(f"  ... ({len(spans) - shown} more spans)")
+                break
+    metrics = snapshot.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name} = {value}")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name} = {_format_value(value)}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for name, h in histograms.items():
+            if h["count"]:
+                lines.append(
+                    f"  {name}: n={h['count']} mean={h['mean']:.6g} "
+                    f"p50={h['p50']:.6g} p99={h['p99']:.6g} "
+                    f"max={h['max']:.6g}"
+                )
+            else:
+                lines.append(f"  {name}: n=0")
+    if not lines:
+        return "(empty telemetry snapshot)"
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Nestable, thread-safe spans with monotonic timings.
+
+A :class:`Span` is one timed region of the anonymize → serve chain —
+an engine stage, a serving micro-batch, a shard task — with a name,
+key/value attributes, and links to its parent.  Spans form a tree per
+:class:`Tracer`: each thread keeps its own active-span stack, so
+concurrent service workers nest correctly without cross-talk.
+
+Two properties matter for the rest of the stack:
+
+* **process-awareness** — spans record the pid/thread that opened them,
+  serialize to plain dicts (:meth:`Span.to_dict`), and a parent tracer
+  can :meth:`~Tracer.adopt` a worker's span buffer, remapping ids into
+  its own id space and re-parenting the worker's roots under a session
+  span.  Adoption is deterministic: ids are assigned in buffer order,
+  so at a fixed shard order the merged tree is reproducible.
+* **comparable clocks** — timestamps are ``time.perf_counter()``
+  (CLOCK_MONOTONIC on Linux, shared across processes), so a merged
+  trace's spans order correctly across the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed region; open until :meth:`finish` (or ``with`` exit).
+
+    Attributes:
+        name: Dotted region name, e.g. ``"engine.materialize"``.
+        span_id: Tracer-unique id (dense, assignment order).
+        parent_id: Enclosing span's id, or ``None`` for a root.
+        start / end: ``perf_counter`` timestamps; ``end`` is ``None``
+            while the span is open.
+        pid / tid: Process and thread that opened the span.
+        attributes: Arbitrary JSON-able key/values.
+    """
+
+    name: str
+    span_id: int
+    parent_id: "int | None"
+    start: float
+    end: "float | None" = None
+    pid: int = 0
+    tid: int = 0
+    attributes: dict = field(default_factory=dict)
+    _tracer: "Tracer | None" = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (to *now* while still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns self for chaining."""
+        self.attributes[key] = value
+        return self
+
+    def finish(self) -> "Span":
+        if self.end is None:
+            self.end = time.perf_counter()
+        return self
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self.finish()
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "pid": self.pid,
+            "tid": self.tid,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        return cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            start=record["start"],
+            end=record.get("end"),
+            pid=record.get("pid", 0),
+            tid=record.get("tid", 0),
+            attributes=dict(record.get("attributes", ())),
+        )
+
+
+class Tracer:
+    """A thread-safe span collector with per-thread nesting stacks."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 0
+        self._stacks = threading.local()
+
+    # -- nesting --------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def current(self) -> "Span | None":
+        """This thread's innermost open span, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a child of this thread's current span (root otherwise).
+
+        Use as a context manager — ``with tracer.span("stage"):`` —
+        which finishes the span and pops the nesting stack on exit.
+        """
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(
+                name=name,
+                span_id=span_id,
+                parent_id=parent.span_id if parent is not None else None,
+                start=time.perf_counter(),
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attributes=dict(attributes),
+                _tracer=self,
+            )
+            self._spans.append(span)
+        stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Pop through mismatches defensively: an unfinished inner span
+        # (client forgot the context manager) must not wedge the stack.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                return
+
+    # -- collection -----------------------------------------------------
+
+    def spans(self) -> "list[Span]":
+        """Snapshot of all spans recorded so far, in id order."""
+        with self._lock:
+            return list(self._spans)
+
+    def export(self) -> "list[dict]":
+        """All spans as plain dicts (JSON-able, picklable)."""
+        return [span.to_dict() for span in self.spans()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._spans)
+            self._spans.clear()
+            return count
+
+    # -- cross-process adoption -----------------------------------------
+
+    def adopt(
+        self,
+        records: "list[dict]",
+        parent: "Span | None" = None,
+        **attributes: Any,
+    ) -> "list[Span]":
+        """Re-parent a shipped span buffer into this tracer.
+
+        ``records`` is another tracer's :meth:`export` (typically from a
+        pool worker).  Ids are remapped into this tracer's id space in
+        buffer order — deterministic for a fixed buffer order — internal
+        parent links are preserved, and the buffer's *roots* become
+        children of ``parent`` (kept as roots when ``None``).  Extra
+        ``attributes`` (e.g. ``shard=3``) are stamped on the roots.
+        """
+        adopted: list[Span] = []
+        with self._lock:
+            id_map: dict[int, int] = {}
+            for record in records:
+                span = Span.from_dict(record)
+                old_id = span.span_id
+                span.span_id = self._next_id
+                self._next_id += 1
+                id_map[old_id] = span.span_id
+                if span.parent_id is not None and span.parent_id in id_map:
+                    span.parent_id = id_map[span.parent_id]
+                else:
+                    span.parent_id = (
+                        parent.span_id if parent is not None else None
+                    )
+                    span.attributes.update(attributes)
+                self._spans.append(span)
+                adopted.append(span)
+        return adopted

@@ -61,6 +61,30 @@ def _artifact_cache():
     return _CACHE
 
 
+def traced_task(fn, enabled: bool, *args):
+    """Run one task function, buffering its telemetry when enabled.
+
+    The transport half of cross-process tracing: with telemetry enabled
+    the task runs under a fresh worker-local
+    :class:`~repro.obs.Telemetry`, and the result ships back as
+    ``(result, {"spans": ..., "metrics": ...})`` — span records plus a
+    mergeable registry export — for the parent session to
+    :meth:`~repro.obs.Tracer.adopt` and :meth:`~repro.obs.MetricsRegistry.
+    merge`.  Disabled, it is a plain pass-through call (``(result,
+    None)``), identical for the pooled and serial transports.
+    """
+    if not enabled:
+        return fn(*args), None
+    from ..obs import Telemetry
+
+    telemetry = Telemetry()
+    result = fn(*args, telemetry=telemetry)
+    return result, {
+        "spans": telemetry.tracer.export(),
+        "metrics": telemetry.metrics.export(),
+    }
+
+
 def reset_worker_state() -> None:
     """Drop all per-process memos (tests use this to measure cold paths)."""
     global _CACHE
@@ -110,6 +134,7 @@ def shard_anonymize(
     params: dict,
     seed_seq,
     probs,
+    telemetry=None,
 ) -> ShardPiece:
     """Run one shard's pipeline; return the publication in compact form.
 
@@ -128,6 +153,7 @@ def shard_anonymize(
         keys=keys,
         sa_distribution=probs,
         rng=rng,
+        telemetry=telemetry,
         **params,
     )
 
@@ -144,6 +170,7 @@ def shard_audit(
     group_rows,
     probs,
     ordered_emd: bool,
+    telemetry=None,
 ) -> dict:
     """One shard's audit arrays: membership, histograms, per-class vectors.
 
@@ -153,27 +180,32 @@ def shard_audit(
     merged publication's vectors bit for bit; the parent concatenates
     them in shard order and applies the same final reductions.
     """
+    from ..obs import coerce_telemetry
+
     table, _ = _resolve_shard(source, rows, shard_index)
-    n, m = table.n_rows, table.sa_cardinality
-    class_of = np.full(n, -1, dtype=np.int64)
-    for g, members in enumerate(group_rows):
-        class_of[members] = g
-    if np.any(class_of < 0):
-        raise ValueError("shard groups do not partition the shard rows")
-    n_groups = len(group_rows)
-    counts = np.bincount(
-        class_of * m + table.sa, minlength=n_groups * m
-    ).reshape(n_groups, m)
-    view = synthesize_view(table, class_of, counts, global_distribution=probs)
-    return {
-        "shard": shard_index,
-        "class_of": class_of,
-        "counts": counts,
-        "gains": per_class_gains(view),
-        "emd": per_class_emd(view, ordered_emd),
-        "log_ratios": per_class_log_ratios(view),
-        "distinct": per_class_distinct(view),
-    }
+    with coerce_telemetry(telemetry).span("shard.audit", rows=table.n_rows):
+        n, m = table.n_rows, table.sa_cardinality
+        class_of = np.full(n, -1, dtype=np.int64)
+        for g, members in enumerate(group_rows):
+            class_of[members] = g
+        if np.any(class_of < 0):
+            raise ValueError("shard groups do not partition the shard rows")
+        n_groups = len(group_rows)
+        counts = np.bincount(
+            class_of * m + table.sa, minlength=n_groups * m
+        ).reshape(n_groups, m)
+        view = synthesize_view(
+            table, class_of, counts, global_distribution=probs
+        )
+        return {
+            "shard": shard_index,
+            "class_of": class_of,
+            "counts": counts,
+            "gains": per_class_gains(view),
+            "emd": per_class_emd(view, ordered_emd),
+            "log_ratios": per_class_log_ratios(view),
+            "distinct": per_class_distinct(view),
+        }
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +243,7 @@ def shard_evaluate(
     shard_index: int,
     pieces: dict | None,
     enc: EncodedWorkload,
+    telemetry=None,
 ) -> dict:
     """Precise COUNTs (and estimates, if a publication is given) of one
     shard.
@@ -220,18 +253,23 @@ def shard_evaluate(
     order.  Masks, indexes and answerers come from the process-local
     artifact cache, keyed by the shard table's content digest.
     """
+    from ..obs import coerce_telemetry
+
     table, _ = _resolve_shard(source, rows, shard_index)
     cache = _artifact_cache()
-    out = {
-        "shard": shard_index,
-        "precise": answer_precise_batch(table, enc, artifacts=cache),
-    }
-    if pieces is not None:
-        publication = _rebuild_publication(table, pieces)
-        out["estimates"] = batch_estimates(
-            table, {"shard": publication}, enc, artifacts=cache
-        )["shard"]
-    return out
+    with coerce_telemetry(telemetry).span(
+        "shard.evaluate", rows=table.n_rows, queries=enc.n_queries
+    ):
+        out = {
+            "shard": shard_index,
+            "precise": answer_precise_batch(table, enc, artifacts=cache),
+        }
+        if pieces is not None:
+            publication = _rebuild_publication(table, pieces)
+            out["estimates"] = batch_estimates(
+                table, {"shard": publication}, enc, artifacts=cache
+            )["shard"]
+        return out
 
 
 # ----------------------------------------------------------------------
@@ -278,7 +316,7 @@ def reattach_source(published, table: Table):
     return published
 
 
-def job_run(source, algorithm: str, params: dict, seed) -> "object":
+def job_run(source, algorithm: str, params: dict, seed, telemetry=None):
     """Run one whole-table engine job in this process (sweep mode).
 
     Returns the full :class:`~repro.engine.pipeline.RunResult` with the
@@ -296,7 +334,8 @@ def job_run(source, algorithm: str, params: dict, seed) -> "object":
     prepared = PreparedTable(table)
     prepared._keys = keys
     result = engine_run(
-        algorithm, table, rng=seed, shared=prepared, **params
+        algorithm, table, rng=seed, shared=prepared, telemetry=telemetry,
+        **params,
     )
     _strip_source(result.published)
     return result

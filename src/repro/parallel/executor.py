@@ -40,6 +40,7 @@ from ..engine.batch import EngineJob, PreparedTable
 from ..engine.pipeline import STAGES, RunResult
 from ..engine.shard import merge_pieces
 from ..metrics.errors import ErrorProfile, error_profile
+from ..obs import coerce_telemetry
 from ..query.workload import CountQuery, EncodedWorkload
 from ..rng import spawn_seeds
 from . import _worker
@@ -186,6 +187,15 @@ class ShardedSession:
             the table's true distribution; the versioned refresh path
             pins the baseline table's ``P`` here so clean shards stay
             byte-reusable across appends.
+        telemetry: Optional :class:`repro.obs.Telemetry`.  When enabled,
+            every fan-out opens a parent span and each task runs under a
+            worker-local tracer whose span buffer ships back with the
+            result (the ``traced_task`` transport) and is re-parented —
+            in ascending shard order, hence deterministically — into the
+            session trace with a ``shard=i`` attribute; worker metric
+            registries merge into the session registry the same way.
+            Disabled (the default), tasks take the exact pre-telemetry
+            code path.
 
     Use as a context manager (or call :meth:`close`) when ``workers >
     1``: the pool and the shared-memory segments are released there.
@@ -200,6 +210,7 @@ class ShardedSession:
         cache=None,
         plan: "ShardPlan | None" = None,
         sa_distribution=None,
+        telemetry=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -210,6 +221,7 @@ class ShardedSession:
         self.table = table
         self.workers = workers
         self.cache = cache
+        self.telemetry = coerce_telemetry(telemetry)
         prepared = PreparedTable(table, cache=cache)
         self._keys = prepared.hilbert_keys()
         self._probs = prepared.sa_distribution()
@@ -269,19 +281,53 @@ class ShardedSession:
             return self._serial_shard(i), None
         return self._handle, self._row_handles[i]
 
-    def _map(self, fn, per_shard_extra: "list[tuple]") -> "list[dict]":
-        """Run ``fn(source, rows, i, *extra_i)`` per shard, in order."""
-        if self.workers == 1:
-            return [
-                fn(*self._shard_args(i), i, *extra)
-                for i, extra in enumerate(per_shard_extra)
-            ]
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(fn, *self._shard_args(i), i, *extra)
-            for i, extra in enumerate(per_shard_extra)
-        ]
-        return [future.result() for future in futures]
+    def _map(
+        self,
+        fn,
+        per_shard_extra: "list[tuple]",
+        span_name: str = "parallel.map",
+    ) -> "list[dict]":
+        """Run ``fn(source, rows, i, *extra_i)`` per shard, in order.
+
+        Every task goes through :func:`repro.parallel._worker.traced_task`
+        — a pass-through when telemetry is disabled; with it enabled, the
+        task runs under a worker-local tracer and its span/metric buffers
+        ship back with the result.  Adoption folds in ascending shard
+        order (the same order the results merge in), so the session
+        trace is identical at any worker count.
+        """
+        tel = self.telemetry
+        with tel.span(
+            span_name, shards=self.plan.n_shards, workers=self.workers
+        ) as parent:
+            if self.workers == 1:
+                wrapped = [
+                    _worker.traced_task(
+                        fn, tel.enabled, *self._shard_args(i), i, *extra
+                    )
+                    for i, extra in enumerate(per_shard_extra)
+                ]
+            else:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(
+                        _worker.traced_task,
+                        fn,
+                        tel.enabled,
+                        *self._shard_args(i),
+                        i,
+                        *extra,
+                    )
+                    for i, extra in enumerate(per_shard_extra)
+                ]
+                wrapped = [future.result() for future in futures]
+            results = []
+            for i, (result, payload) in enumerate(wrapped):
+                if payload is not None:
+                    tel.adopt_spans(payload["spans"], parent=parent, shard=i)
+                    tel.merge_metrics(payload["metrics"])
+                results.append(result)
+            return results
 
     def close(self) -> None:
         """Shut the pool down and unlink the shared-memory segments."""
@@ -329,6 +375,7 @@ class ShardedSession:
                 (algorithm, dict(params), seeds[i], self._anon_probs)
                 for i in range(plan.n_shards)
             ],
+            span_name="parallel.anonymize",
         )
         # merge_pieces lifts shard-local rows to global ids; the
         # publication constructor re-validates the exact row partition —
@@ -389,6 +436,7 @@ class ShardedSession:
                 (run._shard_groups[i], self._probs, ordered_emd)
                 for i in range(self.plan.n_shards)
             ],
+            span_name="parallel.audit",
         )
         memo = {
             "gains": np.concatenate([r["gains"] for r in results]),
@@ -465,6 +513,7 @@ class ShardedSession:
         results = self._map(
             _worker.shard_evaluate,
             [(None, enc)] * self.plan.n_shards,
+            span_name="parallel.precise",
         )
         return np.sum([res["precise"] for res in results], axis=0)
 
@@ -483,6 +532,7 @@ class ShardedSession:
         results = self._map(
             _worker.shard_evaluate,
             [(pieces[i], enc) for i in range(self.plan.n_shards)],
+            span_name="parallel.evaluate",
         )
         precise = np.sum([res["precise"] for res in results], axis=0)
         estimates = np.zeros(enc.n_queries)
@@ -541,27 +591,40 @@ class ShardedSession:
         order, byte-identical to a serial :func:`repro.engine.batch.
         run_many` of the same jobs.
         """
-        if self.workers == 1:
-            source = (self.table, self._keys)
-            results = [
-                _worker.job_run(
-                    source, job.algorithm, dict(job.params), job.seed
-                )
-                for job in jobs
-            ]
-        else:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(
-                    _worker.job_run,
-                    self._handle,
-                    job.algorithm,
-                    dict(job.params),
-                    job.seed,
-                )
-                for job in jobs
-            ]
-            results = [future.result() for future in futures]
+        tel = self.telemetry
+        with tel.span(
+            "parallel.sweep", jobs=len(jobs), workers=self.workers
+        ) as parent:
+            if self.workers == 1:
+                source = (self.table, self._keys)
+                wrapped = [
+                    _worker.traced_task(
+                        _worker.job_run, tel.enabled, source,
+                        job.algorithm, dict(job.params), job.seed,
+                    )
+                    for job in jobs
+                ]
+            else:
+                pool = self._ensure_pool()
+                futures = [
+                    pool.submit(
+                        _worker.traced_task,
+                        _worker.job_run,
+                        tel.enabled,
+                        self._handle,
+                        job.algorithm,
+                        dict(job.params),
+                        job.seed,
+                    )
+                    for job in jobs
+                ]
+                wrapped = [future.result() for future in futures]
+            results = []
+            for i, (result, payload) in enumerate(wrapped):
+                if payload is not None:
+                    tel.adopt_spans(payload["spans"], parent=parent, job=i)
+                    tel.merge_metrics(payload["metrics"])
+                results.append(result)
         for result in results:
             _worker.reattach_source(result.published, self.table)
         return results

@@ -31,13 +31,16 @@ every batch kernel computes each query's estimate independently.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from ..obs import NULL_SPAN, MetricsRegistry, coerce_telemetry
+from ..query.aggregates import batch_aggregate_estimates, check_aggregate_op
 from ..query.evaluate import batch_estimates, check_backend, make_answerer
 from ..query.workload import CountQuery, EncodedWorkload
 from .store import PublicationRecord, PublicationStore
@@ -63,38 +66,92 @@ class _Serving:
         return self.table.schema
 
 
-@dataclass
 class ServiceStats:
-    """Counters exposed by :meth:`QueryService.stats`."""
+    """Counters exposed by :meth:`QueryService.stats_snapshot`.
 
-    requests: int = 0
-    batches: int = 0
-    batched_queries: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    cache_evictions: int = 0
-    #: Batches answered per backend label ("cube" / "bitmap" / "ec").
-    served_by_backend: dict = field(default_factory=dict)
-    #: Batches the service *wanted* to serve from a cube (backend
-    #: preference "auto"/"cube") but the bitmap engine answered.
-    cube_fallbacks: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    A *view* over a :class:`repro.obs.MetricsRegistry`: every counter
+    lives in the registry under a ``service.*`` name, so a service given
+    an enabled :class:`repro.obs.Telemetry` records straight into the
+    session registry — one source of truth for stats snapshots, metric
+    exports and trace files — while a service without telemetry records
+    into a private registry and keeps counting exactly as before.
+
+    Metric names are precomputed (no string formatting on the request
+    path) and the legacy attribute surface (``stats.requests``, ...)
+    reads through to the registry.
+    """
+
+    #: Snapshot keys → registry metric names (backend labels aside).
+    _FULL = {
+        name: f"service.{name}"
+        for name in (
+            "requests",
+            "batches",
+            "batched_queries",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cube_fallbacks",
+        )
+    }
+    _BACKEND_PREFIX = "service.served_by_backend."
+
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: label -> full metric name, memoized so the per-batch counting
+        #: path never builds strings.
+        self._backend_metrics: dict[str, str] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.registry.inc(self._FULL[name], amount)
+
+    def count_backend(self, label: str) -> None:
+        metric = self._backend_metrics.get(label)
+        if metric is None:
+            metric = self._BACKEND_PREFIX + label
+            self._backend_metrics[label] = metric
+        self.registry.inc(metric)
+
+    def __getattr__(self, name: str) -> int:
+        full = ServiceStats._FULL.get(name)
+        if full is None:
+            raise AttributeError(name)
+        return int(self.registry.value(full))
+
+    @property
+    def served_by_backend(self) -> dict:
+        """Batches answered per backend label ("cube" / "bitmap" / "ec")."""
+        counters = self.registry.export()["counters"]
+        prefix = self._BACKEND_PREFIX
+        return {
+            name[len(prefix):]: int(value)
+            for name, value in counters.items()
+            if name.startswith(prefix)
+        }
 
     def snapshot(self) -> dict:
-        with self.lock:
-            return {
-                "requests": self.requests,
-                "batches": self.batches,
-                "batched_queries": self.batched_queries,
-                "mean_batch_size": (
-                    self.batched_queries / self.batches if self.batches else 0.0
-                ),
-                "cache_hits": self.cache_hits,
-                "cache_misses": self.cache_misses,
-                "cache_evictions": self.cache_evictions,
-                "served_by_backend": dict(self.served_by_backend),
-                "cube_fallbacks": self.cube_fallbacks,
-            }
+        """Deep-copied snapshot of every counter (legacy key layout)."""
+        counters = self.registry.export()["counters"]
+        batches = int(counters.get("service.batches", 0))
+        batched = int(counters.get("service.batched_queries", 0))
+        prefix = self._BACKEND_PREFIX
+        return {
+            "requests": int(counters.get("service.requests", 0)),
+            "batches": batches,
+            "batched_queries": batched,
+            "mean_batch_size": batched / batches if batches else 0.0,
+            "cache_hits": int(counters.get("service.cache_hits", 0)),
+            "cache_misses": int(counters.get("service.cache_misses", 0)),
+            "cache_evictions": int(
+                counters.get("service.cache_evictions", 0)
+            ),
+            "served_by_backend": {
+                name[len(prefix):]: int(value)
+                for name, value in counters.items()
+                if name.startswith(prefix)
+            },
+            "cube_fallbacks": int(counters.get("service.cube_fallbacks", 0)),
+        }
 
 
 class QueryService:
@@ -133,6 +190,14 @@ class QueryService:
             which backend answered each batch.  The process executor
             always serves via the bitmap engine (cubes stay in this
             process).
+        telemetry: Optional :class:`repro.obs.Telemetry`.  When enabled,
+            :attr:`stats` counts into its registry (so the service's
+            counters appear in the session's metric snapshot), every
+            batch runs under a ``serve.batch`` span, and per-request
+            queue-wait / end-to-end latency plus per-batch size and
+            per-backend serve-time histograms are recorded.  Disabled
+            (the default), the serve path allocates nothing for
+            telemetry and :attr:`stats` counts into a private registry.
 
     Use as a context manager, or call :meth:`close` to join the pool.
     """
@@ -148,6 +213,7 @@ class QueryService:
         artifact_cache=None,
         executor: str = "thread",
         backend: str = "auto",
+        telemetry=None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -156,10 +222,13 @@ class QueryService:
         if executor not in ("thread", "process"):
             raise ValueError("executor must be 'thread' or 'process'")
         self._backend = check_backend(backend)
+        self.telemetry = coerce_telemetry(telemetry)
         if artifact_cache is None:
             from ..api.cache import ArtifactCache
 
-            artifact_cache = ArtifactCache()
+            # A private cache joins the service's telemetry; a shared
+            # cache keeps whatever telemetry its owner attached.
+            artifact_cache = ArtifactCache(telemetry=self.telemetry)
         self._artifacts = artifact_cache
         self._store = store
         self._max_batch = max_batch
@@ -169,7 +238,10 @@ class QueryService:
         self._aliases: dict[str, str] = {}  # prefix id -> canonical id
         self._cache_lock = threading.Lock()
         self._load_locks: dict[str, threading.Lock] = {}
-        self.stats = ServiceStats()
+        self.stats = ServiceStats(
+            registry=self.telemetry.metrics if self.telemetry.enabled
+            else None
+        )
 
         self._evaluator = None
         if executor == "process":
@@ -181,8 +253,11 @@ class QueryService:
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
-        # pub_id -> FIFO of (query, future); drained in round-robin order.
-        self._pending: "OrderedDict[str, deque]" = OrderedDict()
+        # (pub_id, agg) -> FIFO of (query, future, t0); drained in
+        # round-robin order.  ``agg`` is None for COUNT requests or
+        # ``(measure_dim, op)`` for aggregates, so a drained batch is
+        # always homogeneous and encodes into one kernel call.
+        self._pending: "OrderedDict[tuple, deque]" = OrderedDict()
         self._closed = False
         self._threads = [
             threading.Thread(
@@ -197,20 +272,38 @@ class QueryService:
     # Client surface
     # ------------------------------------------------------------------
 
-    def submit(self, pub_id: str, query: CountQuery) -> Future:
-        """Enqueue one COUNT query; resolves to a float estimate."""
+    def submit(
+        self,
+        pub_id: str,
+        query: CountQuery,
+        *,
+        aggregate: "tuple[int, str] | None" = None,
+    ) -> Future:
+        """Enqueue one query; resolves to a float estimate.
+
+        ``aggregate=None`` (the default) asks for the query's COUNT
+        estimate.  ``aggregate=(measure_dim, op)`` with ``op`` in
+        ``("sum", "avg")`` asks for the SUM/AVG estimate of QI dimension
+        ``measure_dim`` over the query's selection instead, served
+        through :func:`repro.query.aggregates.batch_aggregate_estimates`.
+        Requests micro-batch per ``(publication, aggregate)`` key, so
+        COUNTs and each aggregate shape drain into separate batches.
+        """
+        if aggregate is not None:
+            aggregate = (int(aggregate[0]), check_aggregate_op(aggregate[1]))
         future: Future = Future()
+        t0 = time.perf_counter() if self.telemetry.enabled else 0.0
+        key = (pub_id, aggregate)
         with self._cond:
             if self._closed:
                 raise RuntimeError("the service is closed")
-            queue = self._pending.get(pub_id)
+            queue = self._pending.get(key)
             if queue is None:
                 queue = deque()
-                self._pending[pub_id] = queue
-            queue.append((query, future))
+                self._pending[key] = queue
+            queue.append((query, future, t0))
             self._cond.notify()
-        with self.stats.lock:
-            self.stats.requests += 1
+        self.stats.count("requests")
         return future
 
     def answer(
@@ -218,6 +311,26 @@ class QueryService:
     ) -> np.ndarray:
         """Submit a whole workload and wait for its estimates, in order."""
         futures = [self.submit(pub_id, query) for query in queries]
+        return np.array([future.result() for future in futures])
+
+    def answer_aggregate(
+        self,
+        pub_id: str,
+        queries: Sequence[CountQuery],
+        measure_dim: int,
+        op: str = "sum",
+    ) -> np.ndarray:
+        """Submit a SUM/AVG workload and wait for its estimates, in order.
+
+        The aggregate sibling of :meth:`answer`: estimates are
+        bit-identical to calling
+        :func:`repro.query.aggregates.batch_aggregate_estimates`
+        directly, however requests are batched.
+        """
+        futures = [
+            self.submit(pub_id, query, aggregate=(measure_dim, op))
+            for query in queries
+        ]
         return np.array([future.result() for future in futures])
 
     def load(self, pub_id: str) -> PublicationRecord:
@@ -259,8 +372,7 @@ class QueryService:
         serving = self._cache.get(canonical)
         if serving is not None:
             self._cache.move_to_end(canonical)
-            with self.stats.lock:
-                self.stats.cache_hits += 1
+            self.stats.count("cache_hits")
         return serving
 
     def _serving(self, pub_id: str) -> _Serving:
@@ -327,10 +439,8 @@ class QueryService:
                                 self._artifacts.invalidate(
                                     kind, digest=table_digest
                                 )
-                        with self.stats.lock:
-                            self.stats.cache_evictions += 1
-                    with self.stats.lock:
-                        self.stats.cache_misses += 1
+                        self.stats.count("cache_evictions")
+                    self.stats.count("cache_misses")
         finally:
             with self._cache_lock:
                 self._load_locks.pop(pub_id, None)
@@ -341,18 +451,18 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _take_batch(self):
-        """Pop up to ``max_batch`` requests of the oldest pending pub."""
-        for pub_id, queue in self._pending.items():
+        """Pop up to ``max_batch`` requests of the oldest pending key."""
+        for key, queue in self._pending.items():
             batch = []
             while queue and len(batch) < self._max_batch:
                 batch.append(queue.popleft())
             if not queue:
-                del self._pending[pub_id]
+                del self._pending[key]
             else:
                 # Round-robin fairness between hot publications.
-                self._pending.move_to_end(pub_id)
+                self._pending.move_to_end(key)
             if batch:
-                return pub_id, batch
+                return key, batch
         return None
 
     def _worker(self) -> None:
@@ -367,8 +477,8 @@ class QueryService:
                     if self._closed:
                         return
                     continue
-            pub_id, batch = taken
-            self._answer_batch(pub_id, batch)
+            (pub_id, aggregate), batch = taken
+            self._answer_batch(pub_id, aggregate, batch)
 
     def serving_backend(self, pub_id: str) -> "str | None":
         """Backend label that answered ``pub_id``'s most recent batch
@@ -378,42 +488,77 @@ class QueryService:
             serving = self._cache.get(self._aliases.get(pub_id, pub_id))
             return serving.backend if serving is not None else None
 
-    def _answer_batch(self, pub_id: str, batch: list) -> None:
-        queries = tuple(query for query, _ in batch)
-        futures = [future for _, future in batch]
+    def _answer_batch(
+        self, pub_id: str, aggregate: "tuple[int, str] | None", batch: list
+    ) -> None:
+        tel = self.telemetry
+        queries = tuple(item[0] for item in batch)
+        futures = [item[1] for item in batch]
+        if tel.enabled:
+            now = time.perf_counter()
+            for item in batch:
+                tel.observe("service.queue_wait", now - item[2])
+            tel.observe("service.batch_size", float(len(batch)))
+            span = tel.span(
+                "serve.batch",
+                pub=pub_id[:12],
+                queries=len(batch),
+                kind="count" if aggregate is None
+                else f"{aggregate[1]}[{aggregate[0]}]",
+            )
+        else:
+            span = NULL_SPAN
         try:
-            serving = self._serving(pub_id)
-            enc = EncodedWorkload.encode(serving.schema, queries)
-            if self._evaluator is not None:
-                estimates = self._evaluator.estimates(
-                    serving.publication, enc
-                )
-                label = "bitmap"  # cubes are not shipped to the pool
-            else:
-                served: dict = {}
-                estimates = batch_estimates(
-                    serving.table,
-                    {"served": serving.answerer},
-                    enc,
-                    artifacts=self._artifacts,
-                    backend=self._backend,
-                    served=served,
-                )["served"]
-                label = served.get("served", "bitmap")
+            with span:
+                serving = self._serving(pub_id)
+                enc = EncodedWorkload.encode(serving.schema, queries)
+                if aggregate is not None:
+                    served: dict = {}
+                    estimates = batch_aggregate_estimates(
+                        serving.table,
+                        {"served": serving.answerer},
+                        enc,
+                        aggregate[0],
+                        aggregate[1],
+                        artifacts=self._artifacts,
+                        backend=self._backend,
+                        served=served,
+                    )["served"]
+                    label = served.get("served", "bitmap")
+                elif self._evaluator is not None:
+                    estimates = self._evaluator.estimates(
+                        serving.publication, enc
+                    )
+                    label = "bitmap"  # cubes are not shipped to the pool
+                else:
+                    served = {}
+                    estimates = batch_estimates(
+                        serving.table,
+                        {"served": serving.answerer},
+                        enc,
+                        artifacts=self._artifacts,
+                        backend=self._backend,
+                        served=served,
+                    )["served"]
+                    label = served.get("served", "bitmap")
+                span.set("backend", label)
         except BaseException as exc:  # noqa: BLE001 - forwarded to clients
             for future in futures:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
         serving.backend = label
-        with self.stats.lock:
-            self.stats.batches += 1
-            self.stats.batched_queries += len(batch)
-            self.stats.served_by_backend[label] = (
-                self.stats.served_by_backend.get(label, 0) + 1
-            )
-            if label == "bitmap" and self._backend != "bitmap":
-                self.stats.cube_fallbacks += 1
+        stats = self.stats
+        stats.count("batches")
+        stats.count("batched_queries", len(batch))
+        stats.count_backend(label)
+        if label == "bitmap" and self._backend != "bitmap":
+            stats.count("cube_fallbacks")
+        if tel.enabled:
+            tel.observe(f"service.serve_seconds.{label}", span.duration)
+            end = time.perf_counter()
+            for item in batch:
+                tel.observe("service.request_seconds", end - item[2])
         for future, estimate in zip(futures, estimates):
             if not future.cancelled():
                 future.set_result(float(estimate))
