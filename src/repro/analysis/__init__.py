@@ -1,0 +1,46 @@
+"""``repro.analysis`` — the AST invariant linter ("reprolint").
+
+A rule-based static-analysis engine over Python ``ast`` with a small
+dataflow layer (per-function assignment tracking, import resolution,
+the call graph of module-level names) and a rule registry mirroring
+``repro.engine.registry``'s ``@register`` idiom.  Each shipped rule
+mechanically enforces a house contract this repo has already paid to
+re-learn at least once — see the README's "Static analysis" section
+for the rule catalogue and its bug-class history.
+
+Quick use::
+
+    from repro.analysis import lint_paths
+    result = lint_paths(["src", "tests"], baseline="analysis/baseline.json")
+    assert result.clean, [f.message for f in result.findings]
+
+or from the CLI: ``repro lint [PATHS] [--json] [--baseline FILE]
+[--update-baseline]`` (exit 0 clean, 1 findings, 2 usage error).
+"""
+
+from .baseline import Baseline, BaselineEntry, BaselineError
+from .dataflow import ModuleInfo, Project
+from .engine import LintEngine, LintResult, UsageError, collect_files, lint_paths
+from .report import render_json, render_rules, render_text
+from .rules import RULES, Finding, Rule, all_rules, register_rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ModuleInfo",
+    "Project",
+    "RULES",
+    "Rule",
+    "UsageError",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_rules",
+    "render_text",
+]

@@ -1,0 +1,146 @@
+"""The committed findings baseline: grandfathered, with reasons.
+
+A baseline entry identifies a finding by ``(rule, path, code)`` — the
+*stripped source line*, not the line number, so findings survive
+unrelated edits above them.  CI fails on any finding not consumed by a
+baseline entry; entries carry a human-written ``reason`` documenting
+why the flagged construct is intentional (the same contract as inline
+suppressions, but kept out of hot source files and reviewable in one
+place: ``analysis/baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules import Finding
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing or malformed (a usage error)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    reason: str = ""
+    count: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "reason": self.reason,
+        }
+        if self.count != 1:
+            out["count"] = self.count
+        return out
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise BaselineError(f"baseline file not found: {path}") from None
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"malformed baseline {path}: {exc}") from None
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"malformed baseline {path}: expected a 'findings' list"
+            )
+        entries = []
+        for raw in payload["findings"]:
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=raw["rule"],
+                        path=raw["path"],
+                        code=raw["code"],
+                        reason=raw.get("reason", ""),
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {raw!r} ({exc})"
+                ) from None
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": 1,
+            "findings": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, grandfathered) and report stale
+        entries whose finding no longer exists."""
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.key] = budget.get(entry.key, 0) + entry.count
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.code)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                old.append(
+                    Finding(**{**finding.__dict__, "baselined": True})
+                )
+            else:
+                new.append(finding)
+        stale_keys = {key for key, left in budget.items() if left > 0}
+        stale = [entry for entry in self.entries if entry.key in stale_keys]
+        return new, old, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Rebuild the baseline from current findings, keeping reasons
+        of surviving entries (``--update-baseline``)."""
+        reasons: dict[tuple[str, str, str], str] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                if entry.reason:
+                    reasons.setdefault(entry.key, entry.reason)
+        counts: dict[tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.code)
+            counts[key] = counts.get(key, 0) + 1
+        entries = [
+            BaselineEntry(
+                rule=rule,
+                path=path,
+                code=code,
+                reason=reasons.get(
+                    (rule, path, code),
+                    "grandfathered by --update-baseline; "
+                    "document why this is intentional",
+                ),
+                count=count,
+            )
+            for (rule, path, code), count in sorted(counts.items())
+        ]
+        return cls(entries=entries)

@@ -1,0 +1,68 @@
+"""Text and JSON reporters over a :class:`~repro.analysis.engine.LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+from .rules import RULES
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    """Human-readable findings, one ``path:line: RULE message`` each."""
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} "
+            f"{finding.message}"
+        )
+        if finding.code:
+            lines.append(f"    {finding.code}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} "
+                f"[baselined] {finding.message}"
+            )
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: {finding.rule} "
+                f"[suppressed] {finding.message}"
+            )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"note: stale baseline entry {entry.rule} at {entry.path} "
+            f"({entry.code!r}) — the finding no longer exists; prune it"
+        )
+    lines.append(
+        f"{len(result.findings)} finding(s) "
+        f"({len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable findings (the CI artifact format)."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": len(result.suppressed),
+            "clean": result.clean,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rules() -> str:
+    """The registered rule ids with their one-line titles."""
+    return "\n".join(
+        f"{rule_id}  {rule.title}" for rule_id, rule in sorted(RULES.items())
+    )

@@ -25,6 +25,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..dataset.table import Table
+from ..rng import coerce_rng
+
+#: The documented deterministic default: ``rng=None`` shuffles each
+#: SA-value pool with this fixed seed, so the grouping is reproducible
+#: unless a caller explicitly asks for fresh randomness.
+DEFAULT_ANATOMY_SEED = 0
 
 
 @dataclass
@@ -77,14 +83,18 @@ class AnatomyTable:
 
 
 def anatomy_row_groups(
-    table: Table, l: int, rng: np.random.Generator | None = None
+    table: Table, l: int, rng: np.random.Generator | int | None = None
 ) -> list[list[int]]:
     """Xiao & Tao's grouping phase: row indices of each ℓ-diverse group.
 
     This is the engine's ``partition`` stage; :func:`anatomize` wraps it
-    with eligibility checking and output assembly.
+    with eligibility checking and output assembly.  ``rng`` follows the
+    repo contract (int seed or Generator); ``None`` means the documented
+    :data:`DEFAULT_ANATOMY_SEED`.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = coerce_rng(
+        rng if rng is not None else DEFAULT_ANATOMY_SEED, "anatomy_row_groups"
+    )
     counts = table.sa_counts()
 
     pools: dict[int, list[int]] = {}
@@ -158,7 +168,7 @@ def assemble_anatomy(
 
 
 def anatomize(
-    table: Table, l: int, rng: np.random.Generator | None = None
+    table: Table, l: int, rng: np.random.Generator | int | None = None
 ) -> AnatomyTable:
     """Partition ``table`` into ℓ-diverse Anatomy groups.
 
@@ -167,10 +177,10 @@ def anatomize(
         l: Diversity parameter; each group receives ℓ tuples of ℓ
             distinct SA values (residuals may join earlier groups, which
             keeps every group ℓ-diverse).
-        rng: Optional generator; shuffles tuples within each SA-value
-            bucket so group membership is not order-dependent
-            (``None`` falls back to a fixed seed, so the default is
-            deterministic).
+        rng: Int seed or generator; shuffles tuples within each SA-value
+            bucket so group membership is not order-dependent (``None``
+            uses the documented :data:`DEFAULT_ANATOMY_SEED`, so the
+            default is deterministic).
 
     Raises:
         ValueError: If the table is not ℓ-eligible (some SA value is more
@@ -189,7 +199,7 @@ class AnatomyResult:
 
 
 def anatomy(
-    table: Table, l: int, rng: np.random.Generator | None = None
+    table: Table, l: int, rng: np.random.Generator | int | None = None
 ) -> AnatomyResult:
     """Timed convenience wrapper, routed through the staged engine."""
     from ..engine import run as engine_run

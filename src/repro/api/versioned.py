@@ -49,9 +49,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..audit.view import merge_shard_views
 from ..engine.pipeline import STAGES, RunResult
 from ..engine.shard import ShardPiece, lift_groups, assemble_publication, run_shard
-from ..audit.view import merge_shard_views
 from ..parallel.plan import ShardPlan
 from ..rng import spawn_seeds
 from .dataset import AnonymizationRun

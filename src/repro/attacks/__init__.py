@@ -1,23 +1,23 @@
 """Inference attacks and resistance measurements (Section 7)."""
 
-from .naive_bayes import AttackResult, naive_bayes_attack, naive_bayes_attack_raw
+from .corruption import (
+    CompositionReport,
+    CorruptionReport,
+    composition_attack,
+    corruption_attack,
+)
 from .definetti import (
     DeFinettiResult,
     definetti_attack,
     random_assignment_baseline,
 )
+from .naive_bayes import AttackResult, naive_bayes_attack, naive_bayes_attack_raw
 from .skewness import (
     GainReport,
     hierarchy_groups,
     salary_bands,
     similarity_gain,
     skewness_gain,
-)
-from .corruption import (
-    CompositionReport,
-    CorruptionReport,
-    composition_attack,
-    corruption_attack,
 )
 
 __all__ = [

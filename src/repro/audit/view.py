@@ -209,12 +209,16 @@ def publication_view(publication, cache=None) -> PublicationView:
     if cache is not None:
         key = ("view", cache.publication_key(publication))
         return cache.get_or_build(key, lambda: PublicationView(publication))
-    key = id(publication)
-    view = _VIEWS.get(key)
+    # Deliberately NOT a cache key: the id-keyed registry is the
+    # legacy weak memo (finalizer-evicted, misses on reloads by
+    # design); named distinctly from the content-digest `key` above so
+    # the two paths cannot be conflated.
+    memo_key = id(publication)
+    view = _VIEWS.get(memo_key)
     if view is None:
         view = PublicationView(publication)
-        _VIEWS[key] = view
-        weakref.finalize(publication, _VIEWS.pop, key, None)
+        _VIEWS[memo_key] = view
+        weakref.finalize(publication, _VIEWS.pop, memo_key, None)
     return view
 
 

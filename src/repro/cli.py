@@ -16,6 +16,7 @@ Usage::
     repro publish data.csv --store pubs/ --qi Age --numerical Age \\
         --sensitive Disease --beta 2 --trace trace.json
     repro stats trace.json
+    repro lint src tests --json
 
 (``python -m repro.cli`` works identically when the console script is
 not installed.)
@@ -56,6 +57,11 @@ subcommand — the span tree (engine stages, per-shard runs, serve
 batches) plus metric summaries; ``--trace out.json`` writes the same
 session as a Chrome trace-event file, which ``repro stats out.json``
 renders back in the terminal.
+
+``lint`` runs the repo's AST invariant linter (reprolint, see
+:mod:`repro.analysis`) over the given paths (default ``src tests``)
+against the committed ``analysis/baseline.json``: exit 0 clean, 1 on
+new findings, 2 on usage errors.
 
 Categorical QI columns get flat hierarchies from their observed values;
 for domain hierarchies, use the library API instead.
@@ -273,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the span tree + metrics as JSON instead of text",
     )
+
+    from .analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -620,6 +630,10 @@ def run(argv: list[str] | None = None) -> int:
         return _run_append(args)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "lint":
+        from .analysis.cli import run_lint
+
+        return run_lint(args)
     return _run_query(args)
 
 

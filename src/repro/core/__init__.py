@@ -1,7 +1,7 @@
 """The paper's primary contribution: β-likeness, BUREL and perturbation."""
 
-from .model import BetaLikeness, TOLERANCE
 from .bucketize import BucketPartition, dp_partition, greedy_partition
+from .burel import BurelResult, burel
 from .ectree import (
     ECNode,
     ECTree,
@@ -12,9 +12,9 @@ from .ectree import (
     naive_halve,
     separating_split,
 )
-from .retrieve import HilbertRetriever, RandomRetriever
-from .burel import BurelResult, burel
+from .model import BetaLikeness, TOLERANCE
 from .perturb import PerturbationScheme, PerturbedTable, perturb_table
+from .retrieve import HilbertRetriever, RandomRetriever
 
 __all__ = [
     "BetaLikeness",

@@ -1,14 +1,5 @@
 """Microdata substrate: schemas, tables, publication formats, datasets."""
 
-from .schema import Attribute, AttributeKind, Schema, SensitiveAttribute
-from .table import Table
-from .published import (
-    EquivalenceClass,
-    GeneralizedTable,
-    box_of_rows,
-    make_equivalence_class,
-    publish,
-)
 from .census import (
     CENSUS_QI_ORDER,
     DEFAULT_QI,
@@ -16,7 +7,7 @@ from .census import (
     make_census,
     salary_distribution,
 )
-from .synthetic import synthetic, synthetic_schema, zipf_distribution
+from .display import describe_class, describe_interval, show_published
 from .patients import (
     DISEASES,
     disease_hierarchy,
@@ -24,7 +15,16 @@ from .patients import (
     make_patients,
     patients_schema,
 )
-from .display import describe_class, describe_interval, show_published
+from .published import (
+    EquivalenceClass,
+    GeneralizedTable,
+    box_of_rows,
+    make_equivalence_class,
+    publish,
+)
+from .schema import Attribute, AttributeKind, Schema, SensitiveAttribute
+from .synthetic import synthetic, synthetic_schema, zipf_distribution
+from .table import Table
 
 __all__ = [
     "Attribute",

@@ -26,9 +26,9 @@ The uniform ``rng`` contract: ``rng=None`` means the algorithm's
 deterministic behaviour; pass an int seed or a generator to randomize.
 """
 
+from .batch import EngineJob, PreparedTable, run_many
 from .pipeline import STAGES, Pipeline, PipelineContext, RunResult
 from .registry import Anonymizer, algorithm_names, get_algorithm, register, run
-from .batch import EngineJob, PreparedTable, run_many
 from .shard import (
     ShardPiece,
     assemble_publication,
@@ -39,7 +39,7 @@ from .shard import (
 )
 
 # Importing the adapters populates the registry.
-from . import algorithms  # noqa: E402,F401
+from . import algorithms  # noqa: E402,F401  # isort: skip
 
 __all__ = [
     "STAGES",

@@ -43,8 +43,14 @@ from ..core.model import BetaLikeness
 from ..core.perturb import PerturbationScheme, PerturbedTable
 from ..core.retrieve import HilbertRetriever, RandomRetriever
 from ..dataset.published import publish
+from ..rng import coerce_rng
 from .pipeline import PipelineContext, StageFn
 from .registry import register
+
+#: The documented deterministic default for the perturbation stage:
+#: ``rng=None`` randomized-responds with this fixed seed (the
+#: historical behaviour, kept byte-identical).
+DEFAULT_PERTURB_SEED = 0
 
 
 def _sa_distribution(ctx: PipelineContext) -> np.ndarray:
@@ -351,7 +357,10 @@ class PerturbAlgorithm:
         ctx.provenance["scheme"] = scheme
 
     def _materialize(self, ctx: PipelineContext) -> None:
-        rng = ctx.rng if ctx.rng is not None else np.random.default_rng(0)
+        rng = coerce_rng(
+            ctx.rng if ctx.rng is not None else DEFAULT_PERTURB_SEED,
+            "perturb.materialize",
+        )
         ctx.artifacts["sa_perturbed"] = ctx.artifacts["scheme"].perturb(
             ctx.table.sa, rng
         )

@@ -8,7 +8,6 @@ EXPERIMENTS.md generator consume.
 
 from __future__ import annotations
 
-from .runner import ExperimentConfig, ExperimentResult, search_monotone
 from . import (
     definetti_sweep,
     fig4,
@@ -21,6 +20,7 @@ from . import (
     section2,
     table7,
 )
+from .runner import ExperimentConfig, ExperimentResult, search_monotone
 
 #: Registry of experiment modules in paper order (section2 and
 #: definetti_sweep quantify arguments the paper makes analytically).

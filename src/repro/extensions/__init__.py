@@ -5,17 +5,17 @@
 * (β, w)-proximity-likeness for ordinal SA domains (§7 future work).
 """
 
-from .two_sided import (
-    TwoSidedBetaLikeness,
-    measured_negative_beta,
-    two_sided_constraint,
-)
 from .grouped import SAGrouping, grouped_burel, measured_group_beta
 from .proximity import (
     measured_proximity_beta,
     p_mondrian,
     proximity_caps,
     proximity_constraint,
+)
+from .two_sided import (
+    TwoSidedBetaLikeness,
+    measured_negative_beta,
+    two_sided_constraint,
 )
 
 __all__ = [

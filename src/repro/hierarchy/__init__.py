@@ -1,6 +1,6 @@
 """Generalization hierarchies for categorical quasi-identifier attributes."""
 
-from .tree import Hierarchy, Node
 from .builders import balanced_hierarchy
+from .tree import Hierarchy, Node
 
 __all__ = ["Hierarchy", "Node", "balanced_hierarchy"]

@@ -15,19 +15,6 @@ from .loss import (
     il_attribute,
     il_class,
 )
-from .utility import (
-    ErrorProfile,
-    error_profile,
-    global_certainty_penalty,
-    normalized_certainty_penalty,
-    reconstruction_tv_error,
-)
-from .risk import (
-    RiskProfile,
-    attribute_disclosure_risks,
-    reidentification_risks,
-    risk_profile,
-)
 from .privacy import (
     PrivacyProfile,
     average_beta,
@@ -38,6 +25,19 @@ from .privacy import (
     measured_l,
     measured_t,
     privacy_profile,
+)
+from .risk import (
+    RiskProfile,
+    attribute_disclosure_risks,
+    reidentification_risks,
+    risk_profile,
+)
+from .utility import (
+    ErrorProfile,
+    error_profile,
+    global_certainty_penalty,
+    normalized_certainty_penalty,
+    reconstruction_tv_error,
 )
 
 __all__ = [

@@ -33,7 +33,6 @@ import numpy as np
 
 from ..audit.evaluate import AuditReport, _audit_publications
 from ..audit.view import PublicationView, merge_shard_views
-from ..anonymity.anatomy import AnatomyTable
 from ..dataset.published import GeneralizedTable
 from ..dataset.table import Table
 from ..engine.batch import EngineJob, PreparedTable
@@ -41,7 +40,7 @@ from ..engine.pipeline import STAGES, RunResult
 from ..engine.shard import merge_pieces
 from ..metrics.errors import ErrorProfile, error_profile
 from ..obs import coerce_telemetry
-from ..query.workload import CountQuery, EncodedWorkload
+from ..query.workload import EncodedWorkload
 from ..rng import spawn_seeds
 from . import _worker
 from .plan import ShardPlan

@@ -24,7 +24,6 @@ from ..anonymity.anatomy import BaselinePublication
 from ..core.perturb import PerturbedTable
 from ..dataset.published import EquivalenceClass, GeneralizedTable
 from ..dataset.schema import Schema
-from ..metrics.errors import median_relative_error, relative_errors
 from .workload import CountQuery, EncodedWorkload, qi_mask
 
 

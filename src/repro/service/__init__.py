@@ -29,6 +29,7 @@ Quickstart::
         estimates = service.answer(record.pub_id, workload)
 """
 
+from .server import QueryService
 from .store import (
     CertificationError,
     PublicationRecord,
@@ -36,7 +37,6 @@ from .store import (
     certify_publication,
     publish_run,
 )
-from .server import QueryService
 
 __all__ = [
     "CertificationError",

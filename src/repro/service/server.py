@@ -97,6 +97,7 @@ class ServiceStats:
     _BACKEND_PREFIX = "service.served_by_backend."
 
     def __init__(self, registry: "MetricsRegistry | None" = None):
+        # reprolint: ignore[OBS001] -- stats must keep counting when telemetry is disabled; the private registry is this class's documented fallback
         self.registry = registry if registry is not None else MetricsRegistry()
         #: label -> full metric name, memoized so the per-batch counting
         #: path never builds strings.

@@ -14,7 +14,6 @@ from repro.api import ArtifactCache, Dataset
 from repro.audit.evaluate import _audit_publications
 from repro.engine import run as engine_run
 from repro.io import publication_digest, table_digest
-from repro.query import make_workload
 from repro.query.evaluate import _evaluate_workload
 from repro.service import CertificationError, PublicationStore
 from repro.service.store import certify_publication

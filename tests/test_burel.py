@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import BetaLikeness, burel
-from repro.metrics import measured_beta
 from repro.dataset import make_census
+from repro.metrics import measured_beta
 
 
 class TestGuarantee:

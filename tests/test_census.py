@@ -9,7 +9,6 @@ from repro.dataset.census import (
     LEAST_FREQUENT_CODE,
     MOST_FREQUENT,
     MOST_FREQUENT_CODE,
-    N_SALARY_CLASSES,
     exact_sa_counts,
 )
 

@@ -224,3 +224,78 @@ class TestAppendCli:
         )
         assert code == 1
         assert "refused" in capsys.readouterr().err
+
+
+class TestLintCli:
+    """``repro lint`` exit codes are CLI-conventional: 0 clean, 1
+    findings, 2 usage error."""
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x + 1\n")
+        assert run(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def sample():\n"
+            "    return np.random.default_rng()\n"
+        )
+        assert run(["lint", str(dirty), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert run(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        code = run(
+            ["lint", str(clean), "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        import json as json_mod
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def sample():\n"
+            "    return np.random.default_rng()\n"
+        )
+        assert run(["lint", str(dirty), "--json", "--no-baseline"]) == 1
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["summary"]["clean"] is False
+        assert payload["findings"][0]["rule"] == "RNG001"
+
+    def test_update_baseline_round_trip(self, tmp_path, capsys):
+        import json as json_mod
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(
+            "import numpy as np\n"
+            "def sample():\n"
+            "    return np.random.default_rng()\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        code = run(
+            ["lint", str(dirty), "--update-baseline",
+             "--baseline", str(baseline)]
+        )
+        assert code == 0
+        payload = json_mod.loads(baseline.read_text())
+        assert payload["findings"][0]["rule"] == "RNG001"
+        capsys.readouterr()
+        # Linting against the fresh baseline is now clean.
+        assert run(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert run(["lint", "--list-rules"]) == 0
+        assert "RNG001" in capsys.readouterr().out

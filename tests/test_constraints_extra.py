@@ -11,7 +11,7 @@ from repro.anonymity import (
     mondrian,
     recursive_cl_diversity,
 )
-from repro.metrics import js_divergence, kl_divergence
+from repro.metrics import js_divergence
 
 
 class TestEntropyLDiversity:

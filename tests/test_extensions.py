@@ -5,7 +5,6 @@ import pytest
 
 from repro.anonymity import mondrian
 from repro.core import burel
-from repro.dataset import make_census
 from repro.extensions import (
     SAGrouping,
     TwoSidedBetaLikeness,

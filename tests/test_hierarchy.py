@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.hierarchy import Hierarchy, balanced_hierarchy
 from repro.dataset.patients import disease_hierarchy
+from repro.hierarchy import Hierarchy, balanced_hierarchy
 
 
 class TestConstruction:

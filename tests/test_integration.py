@@ -5,7 +5,6 @@ import pytest
 
 from repro import (
     burel,
-    average_information_loss,
     make_census,
     measured_beta,
     perturb_table,

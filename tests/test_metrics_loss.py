@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import burel
-from repro.dataset import make_patients, publish
+from repro.dataset import publish
 from repro.metrics import (
     average_class_size,
     average_information_loss,

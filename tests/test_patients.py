@@ -7,7 +7,6 @@ from repro.dataset import (
     DISEASES,
     disease_hierarchy,
     make_example2_table,
-    make_patients,
 )
 from repro.dataset.patients import EXAMPLE2_COUNTS
 

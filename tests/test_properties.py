@@ -6,7 +6,6 @@ and the perturbation scheme must bound posterior confidence (Theorem 3).
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

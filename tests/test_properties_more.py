@@ -2,7 +2,6 @@
 queries and groupings on random inputs."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import PerturbationScheme, burel, perturb_table
+from repro.core import PerturbationScheme, burel
 from repro.dataset import publish
 from repro.metrics import (
     attribute_disclosure_risks,
